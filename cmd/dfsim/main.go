@@ -1,0 +1,191 @@
+// Command dfsim runs a single dragonfly simulation cell: one application,
+// one placement policy, one routing mechanism, optionally with background
+// traffic, and prints the paper's metrics.
+//
+// Examples:
+//
+//	dfsim -describe
+//	dfsim -app CR -placement rand -routing min
+//	dfsim -app AMG -placement cont -routing adp -background uniform
+//	dfsim -app FB -machine mini -scale 0.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dragonfly"
+	"dragonfly/internal/ascii"
+)
+
+func main() {
+	var (
+		machine    = flag.String("machine", "theta", "machine: theta or mini")
+		app        = flag.String("app", "CR", "application: CR, FB, or AMG")
+		place      = flag.String("placement", "cont", "placement: cont, cab, chas, rotr, rand")
+		route      = flag.String("routing", "min", "routing: min or adp")
+		mapName    = flag.String("mapping", "identity", "task mapping: identity, shuffle, router-packed, group-packed")
+		msgScale   = flag.Float64("scale", 1, "message-size scale factor (sensitivity study)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		background = flag.String("background", "none", "background traffic: none, uniform, bursty")
+		bgBytes    = flag.Int64("bg-bytes", 16*1024, "background message size in bytes")
+		bgInterval = flag.Duration("bg-interval", 0, "background interval (default 50us uniform, 500us bursty)")
+		bgFanOut   = flag.Int("bg-fanout", 64, "bursty background fan-out per node (0 = all peers)")
+		describe   = flag.Bool("describe", false, "print the machine inventory (Figure 1) and exit")
+		plot       = flag.Bool("plot", false, "render ASCII comm-time box plot and channel-traffic CDFs")
+	)
+	flag.Parse()
+
+	topoCfg := dragonfly.Theta()
+	if *machine == "mini" {
+		topoCfg = dragonfly.MiniTopology()
+	} else if *machine != "theta" {
+		fatalf("unknown machine %q", *machine)
+	}
+
+	if *describe {
+		topo, err := dragonfly.NewTopology(topoCfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(topo.Describe())
+		return
+	}
+
+	tr, err := appTrace(*app, *machine == "mini")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pol, err := dragonfly.ParsePlacement(*place)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mech, err := dragonfly.ParseRouting(*route)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mapPol, err := dragonfly.ParseMapping(*mapName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := dragonfly.Config{
+		Topology:  topoCfg,
+		Params:    dragonfly.DefaultParams(),
+		Placement: pol,
+		Routing:   mech,
+		Mapping:   mapPol,
+		Trace:     tr,
+		MsgScale:  *msgScale,
+		Seed:      *seed,
+	}
+	switch *background {
+	case "none":
+	case "uniform", "bursty":
+		kind := dragonfly.UniformRandom
+		interval := 50 * dragonfly.Microsecond
+		fan := 0
+		if *background == "bursty" {
+			kind = dragonfly.Bursty
+			interval = 500 * dragonfly.Microsecond
+			fan = *bgFanOut
+		}
+		if *bgInterval > 0 {
+			interval = dragonfly.Time(bgInterval.Nanoseconds())
+		}
+		cfg.Background = &dragonfly.BackgroundConfig{
+			Kind: kind, MsgBytes: *bgBytes, Interval: interval, FanOut: fan,
+		}
+		cfg.MaxSimTime = dragonfly.Second
+	default:
+		fatalf("unknown background %q", *background)
+	}
+
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(res, *app)
+	if *plot {
+		printPlots(res)
+	}
+}
+
+func printPlots(res *dragonfly.Result) {
+	fmt.Printf("\ncommunication time per rank (ms):\n%s",
+		ascii.BoxPlot([]ascii.NamedValues{{Name: res.Config.Name(), Values: res.CommTimesMs()}}, 60))
+	fmt.Printf("\nchannel traffic CDF (MiB per channel):\n%s",
+		ascii.CDFPlot(map[string][]float64{
+			"local":  res.LocalTraffic(false),
+			"global": res.GlobalTraffic(false),
+		}, 60, 12))
+}
+
+func appTrace(name string, mini bool) (*dragonfly.Trace, error) {
+	switch name {
+	case "CR", "cr":
+		cfg := dragonfly.DefaultCR()
+		if mini {
+			cfg = dragonfly.CRConfig{Ranks: 32, MessageBytes: 16 * 1024}
+		}
+		return dragonfly.CRTrace(cfg)
+	case "FB", "fb":
+		cfg := dragonfly.DefaultFB()
+		if mini {
+			cfg = dragonfly.FBConfig{X: 3, Y: 3, Z: 3, Iterations: 2,
+				MinBytes: 4 * 1024, MaxBytes: 64 * 1024, FarPartners: 1, FarFraction: 0.1, Seed: 1}
+		}
+		return dragonfly.FBTrace(cfg)
+	case "AMG", "amg":
+		cfg := dragonfly.DefaultAMG()
+		if mini {
+			cfg = dragonfly.AMGConfig{X: 3, Y: 3, Z: 3, Cycles: 3, Levels: 3, PeakBytes: 16 * 1024}
+		}
+		return dragonfly.AMGTrace(cfg)
+	}
+	return nil, fmt.Errorf("unknown application %q (want CR, FB, or AMG)", name)
+}
+
+func printResult(res *dragonfly.Result, app string) {
+	fmt.Printf("%s under %s (seed %d)\n", app, res.Config.Name(), res.Config.Seed)
+	fmt.Printf("  completed:     %v\n", res.Completed)
+	fmt.Printf("  simulated:     %v over %d events\n", res.Duration, res.Events)
+
+	times := res.CommTimesMs()
+	sort.Float64s(times)
+	q := func(f float64) float64 { return times[int(f*float64(len(times)-1))] }
+	fmt.Printf("  comm time ms:  min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g\n",
+		times[0], q(0.25), q(0.5), q(0.75), times[len(times)-1])
+
+	var hops float64
+	for _, h := range res.AvgHops {
+		hops += h
+	}
+	fmt.Printf("  avg hops:      %.3f (mean over %d ranks)\n", hops/float64(len(res.AvgHops)), len(res.AvgHops))
+
+	sumMax := func(vals []float64) (sum, max float64) {
+		for _, v := range vals {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		return
+	}
+	lt, ltMax := sumMax(res.LocalTraffic(false))
+	gt, gtMax := sumMax(res.GlobalTraffic(false))
+	ls, lsMax := sumMax(res.LocalSaturation(false))
+	gs, gsMax := sumMax(res.GlobalSaturation(false))
+	fmt.Printf("  local chans:   %.1f MiB total, %.2f MiB max; saturation %.4g ms total, %.4g ms max\n", lt, ltMax, ls, lsMax)
+	fmt.Printf("  global chans:  %.1f MiB total, %.2f MiB max; saturation %.4g ms total, %.4g ms max\n", gt, gtMax, gs, gsMax)
+	if res.BackgroundPeakLoad > 0 {
+		fmt.Printf("  bg peak load:  %.2f MiB per interval\n", float64(res.BackgroundPeakLoad)/(1024*1024))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dfsim: "+format+"\n", args...)
+	os.Exit(1)
+}

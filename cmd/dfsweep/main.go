@@ -1,0 +1,75 @@
+// Command dfsweep regenerates the paper's evaluation artifacts — Tables I
+// and II and Figures 2 through 10 — printing each as plain-text tables and
+// optionally dumping CSVs.
+//
+// Examples:
+//
+//	dfsweep -exp all -scale quick
+//	dfsweep -exp fig3,fig4 -scale paper -data out/
+//	dfsweep -exp fig7 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dragonfly"
+)
+
+func main() {
+	var (
+		exps = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+
+			strings.Join(dragonfly.ExperimentIDs(), ", ")+
+			"; extensions: "+strings.Join(dragonfly.ExtensionExperimentIDs(), ", ")+")")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dataDir = flag.String("data", "", "directory for CSV output (omit to skip)")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
+		burst   = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
+	)
+	flag.Parse()
+
+	opts := dragonfly.ExperimentOptions{
+		Seed:         *seed,
+		DataDir:      *dataDir,
+		BurstDivisor: *burst,
+	}
+	switch *scale {
+	case "quick":
+		opts.Scale = dragonfly.ScaleQuick
+	case "paper":
+		opts.Scale = dragonfly.ScalePaper
+	default:
+		fatalf("unknown scale %q (want quick or paper)", *scale)
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	ids := dragonfly.ExperimentIDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+
+	runner := dragonfly.NewRunner(opts)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := runner.Run(id)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatalf("write: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dfsweep: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dfsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command dftrace generates, inspects, and converts application
+// communication traces — the synthetic stand-ins for the paper's DUMPI
+// traces of the CR, FB, and AMG miniapps.
+//
+// Examples:
+//
+//	dftrace -app CR -summary
+//	dftrace -app FB -out fb.trace
+//	dftrace -in fb.trace -summary
+//	dftrace -app AMG -matrix 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly"
+	"dragonfly/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "generate a trace: CR, FB, or AMG (paper sizes)")
+		in      = flag.String("in", "", "read a binary trace file instead of generating")
+		textIn  = flag.String("text-in", "", "read a text-format (DUMPI-flavored) trace file")
+		out     = flag.String("out", "", "write the trace to this file (binary format)")
+		textOut = flag.String("text-out", "", "write the trace to this file (text format)")
+		summary = flag.Bool("summary", false, "print the JSON digest (ranks, phases, loads)")
+		matrix  = flag.Int("matrix", 0, "print the communication matrix binned to NxN (MB per bin)")
+	)
+	flag.Parse()
+
+	var tr *dragonfly.Trace
+	var err error
+	switch {
+	case *in != "":
+		tr, err = trace.ReadFile(*in)
+	case *textIn != "":
+		tr, err = readText(*textIn)
+	case *app != "":
+		tr, err = generate(*app)
+	default:
+		fatalf("specify -app to generate, or -in/-text-in to read a trace")
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *out != "" {
+		if err := trace.WriteFile(*out, tr); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "dftrace: wrote %s (%d ranks, %d phases)\n", *out, tr.NumRanks(), tr.NumPhases())
+	}
+	if *textOut != "" {
+		if err := writeText(*textOut, tr); err != nil {
+			fatalf("write %s: %v", *textOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "dftrace: wrote %s (text format)\n", *textOut)
+	}
+	if *summary || (*out == "" && *textOut == "" && *matrix == 0) {
+		if err := trace.WriteSummaryJSON(os.Stdout, tr); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *matrix > 0 {
+		printMatrix(tr, *matrix)
+	}
+}
+
+func generate(app string) (*dragonfly.Trace, error) {
+	switch app {
+	case "CR", "cr":
+		return dragonfly.CRTrace(dragonfly.DefaultCR())
+	case "FB", "fb":
+		return dragonfly.FBTrace(dragonfly.DefaultFB())
+	case "AMG", "amg":
+		return dragonfly.AMGTrace(dragonfly.DefaultAMG())
+	}
+	return nil, fmt.Errorf("unknown application %q (want CR, FB, or AMG)", app)
+}
+
+func printMatrix(tr *dragonfly.Trace, bins int) {
+	m := tr.Matrix(bins)
+	const MB = 1024 * 1024
+	fmt.Printf("communication matrix (%dx%d bins, MB per bin)\n", len(m), len(m))
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%7.2f", v/MB)
+		}
+		fmt.Println()
+	}
+}
+
+func readText(path string) (*dragonfly.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ParseText(f)
+}
+
+func writeText(path string, tr *dragonfly.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteText(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dftrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command dfvalidate reproduces the methodology of the CODES dragonfly
+// validation study the paper builds on (Sec. II): ping-pong latency checks
+// against the analytic zero-load model, and a bisection-pairing bandwidth
+// test, on the simulated machine.
+//
+// Examples:
+//
+//	dfvalidate
+//	dfvalidate -machine mini -pairs 100
+//	dfvalidate -bisect-bytes 1048576 -routing adp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/validate"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "theta", "machine: theta or mini")
+		pairs    = flag.Int("pairs", 50, "ping-pong node pairs to sample")
+		bytes    = flag.Int("bytes", 4096, "ping payload (single packet)")
+		bisect   = flag.Int64("bisect-bytes", 512*1024, "bytes per bisection pair")
+		route    = flag.String("routing", "min", "bisection routing: min or adp")
+		seed     = flag.Int64("seed", 1, "random seed")
+		maxError = flag.Float64("max-error", 0.001, "fail if ping relative error exceeds this")
+	)
+	flag.Parse()
+
+	var topoCfg topology.Config
+	switch *machine {
+	case "theta":
+		topoCfg = topology.Theta()
+	case "mini":
+		topoCfg = topology.Mini()
+	default:
+		fatalf("unknown machine %q", *machine)
+	}
+	params := dragonfly.DefaultParams()
+
+	fmt.Printf("ping-pong: %d pairs x %d B on %s...\n", *pairs, *bytes, *machine)
+	ping, err := validate.PingPong(topoCfg, params, *bytes, *pairs, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	byHops := map[int][]validate.PingSample{}
+	for _, s := range ping.Samples {
+		byHops[s.Routers] = append(byHops[s.Routers], s)
+	}
+	for h := 1; h <= 6; h++ {
+		ss := byHops[h]
+		if len(ss) == 0 {
+			continue
+		}
+		var meas, pred float64
+		for _, s := range ss {
+			meas += float64(s.Measured)
+			pred += float64(s.Predicted)
+		}
+		fmt.Printf("  %d routers: %3d samples  mean measured %8.1f ns  predicted %8.1f ns\n",
+			h, len(ss), meas/float64(len(ss)), pred/float64(len(ss)))
+	}
+	fmt.Printf("  max relative error vs analytic model: %.6f (threshold %.4f)\n", ping.MaxRelError, *maxError)
+	if ping.MaxRelError > *maxError {
+		fatalf("ping-pong validation FAILED")
+	}
+
+	mech, err := routing.ParseMechanism(*route)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("bisection pairing: %d B/pair under %s routing...\n", *bisect, mech)
+	bi, err := validate.Bisection(topoCfg, params, mech, *bisect, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	const GiB = 1024 * 1024 * 1024
+	fmt.Printf("  %d pairs, makespan %v\n", bi.Pairs, bi.Makespan)
+	fmt.Printf("  aggregate bandwidth %.2f GiB/s (injection bound %.2f GiB/s, utilization %.1f%%)\n",
+		bi.AchievedBandwidth/GiB, bi.InjectionBound/GiB, 100*bi.Utilization)
+	fmt.Println("validation PASSED")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dfvalidate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,252 @@
+// Package dragonfly is the public API of a packet-level dragonfly network
+// simulation library reproducing "Trade-Off Study of Localizing
+// Communication and Balancing Network Traffic on a Dragonfly System"
+// (Wang, Mubarak, Yang, Ross, Lan — IPDPS 2018).
+//
+// The library simulates a Cray XC40-style dragonfly (the paper's Theta
+// machine) at packet granularity with credit-based flow control, replays
+// application communication traces under five job placement policies and
+// two routing mechanisms, optionally against synthetic background traffic,
+// and reports the paper's metrics: communication time, average hops,
+// per-channel traffic, and link saturation time.
+//
+// Quick start:
+//
+//	tr, _ := dragonfly.CRTrace(dragonfly.DefaultCR())
+//	cfg := dragonfly.ThetaConfig(tr, dragonfly.Cell{
+//		Placement: dragonfly.RandomNode,
+//		Routing:   dragonfly.Minimal,
+//	}, 1)
+//	res, _ := dragonfly.Run(cfg)
+//	fmt.Println(res.MaxCommTime())
+//
+// The full study — every table and figure of the paper — is driven by the
+// Experiments runner (see cmd/dfsweep) or programmatically via NewRunner.
+package dragonfly
+
+import (
+	"dragonfly/internal/core"
+	"dragonfly/internal/des"
+	"dragonfly/internal/experiments"
+	"dragonfly/internal/mapping"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sched"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workload"
+)
+
+// Simulation time (nanosecond ticks).
+type Time = des.Time
+
+// Time units.
+const (
+	Nanosecond  = des.Nanosecond
+	Microsecond = des.Microsecond
+	Millisecond = des.Millisecond
+	Second      = des.Second
+)
+
+// Machine description.
+type (
+	// TopologyConfig describes a dragonfly machine.
+	TopologyConfig = topology.Config
+	// Topology is a wired machine.
+	Topology = topology.Topology
+	// NodeID identifies a compute node.
+	NodeID = topology.NodeID
+	// RouterID identifies a router.
+	RouterID = topology.RouterID
+	// NetworkParams carries channel bandwidths, latencies, and buffers.
+	NetworkParams = network.Params
+)
+
+// Theta returns the paper's machine: 9 groups x (6x16 routers) x 4 nodes.
+func Theta() TopologyConfig { return topology.Theta() }
+
+// MiniTopology returns a small machine for tests and examples.
+func MiniTopology() TopologyConfig { return topology.Mini() }
+
+// NewTopology wires a machine.
+func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
+
+// DefaultParams returns the Theta channel parameters of Sec. II.
+func DefaultParams() NetworkParams { return network.DefaultParams() }
+
+// Placement policies (Sec. III-B).
+type PlacementPolicy = placement.Policy
+
+// The five placement policies.
+const (
+	Contiguous    = placement.Contiguous
+	RandomCabinet = placement.RandomCabinet
+	RandomChassis = placement.RandomChassis
+	RandomRouter  = placement.RandomRouter
+	RandomNode    = placement.RandomNode
+)
+
+// AllPlacements lists the placement policies in the paper's order.
+func AllPlacements() []PlacementPolicy { return placement.All() }
+
+// ParsePlacement converts "cont"/"cab"/"chas"/"rotr"/"rand" (or long names).
+func ParsePlacement(s string) (PlacementPolicy, error) { return placement.Parse(s) }
+
+// Routing mechanisms (Sec. III-C).
+type RoutingMechanism = routing.Mechanism
+
+// The two routing mechanisms.
+const (
+	Minimal  = routing.Minimal
+	Adaptive = routing.Adaptive
+)
+
+// ParseRouting converts "min"/"adp" (or long names).
+func ParseRouting(s string) (RoutingMechanism, error) { return routing.ParseMechanism(s) }
+
+// Task mapping (the paper's future-work extension): how ranks are assigned
+// to the nodes of an allocation.
+type MappingPolicy = mapping.Policy
+
+// The task-mapping policies.
+const (
+	IdentityMapping = mapping.Identity
+	ShuffleMapping  = mapping.Shuffle
+	RouterPacked    = mapping.RouterPacked
+	GroupPacked     = mapping.GroupPacked
+)
+
+// AllMappings lists the task-mapping policies.
+func AllMappings() []MappingPolicy { return mapping.All() }
+
+// ParseMapping converts "identity"/"shuffle"/"router-packed"/"group-packed".
+func ParseMapping(s string) (MappingPolicy, error) { return mapping.Parse(s) }
+
+// Application traces (Sec. III-A).
+type (
+	// Trace is an application communication trace.
+	Trace = trace.Trace
+	// CRConfig parameterizes the crystal router generator.
+	CRConfig = trace.CRConfig
+	// FBConfig parameterizes the fill boundary generator.
+	FBConfig = trace.FBConfig
+	// AMGConfig parameterizes the algebraic multigrid generator.
+	AMGConfig = trace.AMGConfig
+)
+
+// Default application configurations at the paper's sizes.
+func DefaultCR() CRConfig   { return trace.DefaultCR() }
+func DefaultFB() FBConfig   { return trace.DefaultFB() }
+func DefaultAMG() AMGConfig { return trace.DefaultAMG() }
+
+// Trace generators.
+func CRTrace(cfg CRConfig) (*Trace, error)   { return trace.CR(cfg) }
+func FBTrace(cfg FBConfig) (*Trace, error)   { return trace.FB(cfg) }
+func AMGTrace(cfg AMGConfig) (*Trace, error) { return trace.AMG(cfg) }
+
+// Background traffic (Sec. IV-C).
+type (
+	// BackgroundConfig parameterizes a synthetic interference job.
+	BackgroundConfig = workload.BackgroundConfig
+	// BackgroundKind selects uniform-random or bursty interference.
+	BackgroundKind = workload.BackgroundKind
+)
+
+// The two background patterns.
+const (
+	UniformRandom = workload.UniformRandom
+	Bursty        = workload.Bursty
+)
+
+// Study orchestration.
+type (
+	// Config describes one simulation run.
+	Config = core.Config
+	// Result carries a run's measurements.
+	Result = core.Result
+	// Cell is one placement x routing combination (Table I).
+	Cell = core.Cell
+)
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Multijob co-runs (the production scenario of Sec. IV-C, with real
+// application traces instead of synthetic background traffic).
+type (
+	// MultiConfig describes several applications sharing the machine.
+	MultiConfig = core.MultiConfig
+	// JobSpec is one application of a co-run.
+	JobSpec = core.JobSpec
+	// MultiResult carries per-job measurements of a co-run.
+	MultiResult = core.MultiResult
+	// JobResult is one job's share of a MultiResult.
+	JobResult = core.JobResult
+)
+
+// RunMulti executes a multijob co-run: jobs are placed in order from the
+// shared free pool and replayed concurrently on one fabric.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) { return core.RunMulti(cfg) }
+
+// Batch scheduling (extension: the paper's "joint actions among
+// applications and system" future work).
+type (
+	// SchedConfig describes the machine and scheduling discipline.
+	SchedConfig = sched.Config
+	// JobRequest is one job submission to the scheduler.
+	JobRequest = sched.JobRequest
+	// JobRecord is the scheduler's account of one completed job.
+	JobRecord = sched.JobRecord
+	// SchedResult is the outcome of a scheduling run.
+	SchedResult = sched.Result
+)
+
+// Schedule runs a batch-scheduling trace: jobs arrive over simulated time,
+// queue FCFS (optionally with backfill), run on the shared fabric, and
+// release their nodes on completion.
+func Schedule(cfg SchedConfig, jobs []JobRequest) (*SchedResult, error) {
+	return sched.Run(cfg, jobs)
+}
+
+// ThetaConfig builds a run on the paper's machine.
+func ThetaConfig(tr *Trace, cell Cell, seed int64) Config { return core.ThetaConfig(tr, cell, seed) }
+
+// MiniConfig builds a run on the small test machine.
+func MiniConfig(tr *Trace, cell Cell, seed int64) Config { return core.MiniConfig(tr, cell, seed) }
+
+// AllCells lists the ten placement x routing configurations of Table I.
+func AllCells() []Cell { return core.AllCells() }
+
+// ExtremeCells lists the four sensitivity-study configurations.
+func ExtremeCells() []Cell { return core.ExtremeCells() }
+
+// Experiment harness.
+type (
+	// ExperimentOptions configures the experiment runner.
+	ExperimentOptions = experiments.Options
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+	// Report is an experiment's output.
+	Report = experiments.Report
+	// ExperimentScale selects quick or paper-scale runs.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	ScaleQuick = experiments.ScaleQuick
+	ScalePaper = experiments.ScalePaper
+)
+
+// NewRunner builds an experiment runner.
+func NewRunner(opts ExperimentOptions) *ExperimentRunner { return experiments.NewRunner(opts) }
+
+// ExperimentIDs lists every reproducible artifact: table1, table2,
+// fig2 … fig10.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExtensionExperimentIDs lists the experiments beyond the paper's figures:
+// xmap (task mapping, the paper's future work) and xmulti (real-trace
+// co-run interference).
+func ExtensionExperimentIDs() []string { return experiments.ExtensionIDs() }

@@ -1,0 +1,75 @@
+// Interference: the paper's Sec. IV-C in miniature — run the AMG solver
+// alone, then against uniform-random and bursty background traffic
+// occupying the rest of the machine, and show that localized configurations
+// (cont-min) suffer less external interference than balanced ones
+// (rand-adp).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly"
+)
+
+func run(tr *dragonfly.Trace, cell dragonfly.Cell, bg *dragonfly.BackgroundConfig) *dragonfly.Result {
+	cfg := dragonfly.MiniConfig(tr, cell, 5)
+	if bg != nil {
+		b := *bg
+		cfg.Background = &b
+		cfg.MaxSimTime = dragonfly.Second
+	}
+	res, err := dragonfly.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Completed {
+		log.Fatalf("%s did not complete", cell.Name())
+	}
+	return res
+}
+
+func main() {
+	// 27 ranks on the 64-node mini machine: the other 37 nodes host the
+	// synthetic background job, as in the paper's multijob setup.
+	tr, err := dragonfly.AMGTrace(dragonfly.AMGConfig{
+		X: 3, Y: 3, Z: 3, Cycles: 3, Levels: 4, PeakBytes: 10 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Intervals sized to the miniature app's ~40us run so several waves of
+	// interference land while it communicates.
+	uniform := &dragonfly.BackgroundConfig{
+		Kind:     dragonfly.UniformRandom,
+		MsgBytes: 64 * 1024,
+		Interval: 5 * dragonfly.Microsecond,
+	}
+	bursty := &dragonfly.BackgroundConfig{
+		Kind:     dragonfly.Bursty,
+		MsgBytes: 64 * 1024,
+		Interval: 10 * dragonfly.Microsecond,
+		FanOut:   16,
+	}
+
+	fmt.Println("AMG (27 ranks) under external network interference")
+	fmt.Printf("%-9s  %-12s  %-12s  %-12s  %s\n", "config", "alone", "uniform bg", "bursty bg", "worst slowdown")
+	for _, cell := range []dragonfly.Cell{
+		{Placement: dragonfly.Contiguous, Routing: dragonfly.Minimal},
+		{Placement: dragonfly.RandomCabinet, Routing: dragonfly.Minimal},
+		{Placement: dragonfly.RandomNode, Routing: dragonfly.Adaptive},
+	} {
+		alone := run(tr, cell, nil).MaxCommTime()
+		uni := run(tr, cell, uniform).MaxCommTime()
+		bur := run(tr, cell, bursty).MaxCommTime()
+		worst := uni
+		if bur > worst {
+			worst = bur
+		}
+		fmt.Printf("%-9s  %-12v  %-12v  %-12v  %.1fx\n",
+			cell.Name(), alone, uni, bur, float64(worst)/float64(alone))
+	}
+	fmt.Println()
+	fmt.Println("localized communication (cont-min) forms a relatively isolated region of")
+	fmt.Println("the shared network, reducing the variation caused by other jobs.")
+}

@@ -1,0 +1,66 @@
+// Placement study: the core of the paper's Figure 3 — replay all three
+// applications under every placement x routing configuration and rank the
+// configurations by maximum communication time, showing that different
+// communication patterns prefer different ends of the localize-vs-balance
+// trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dragonfly"
+)
+
+func appTraces() map[string]*dragonfly.Trace {
+	cr, err := dragonfly.CRTrace(dragonfly.CRConfig{Ranks: 64, MessageBytes: 24 * 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := dragonfly.FBTrace(dragonfly.FBConfig{
+		X: 4, Y: 4, Z: 4, Iterations: 2,
+		MinBytes: 6 * 1024, MaxBytes: 160 * 1024,
+		FarPartners: 2, FarFraction: 0.1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	amg, err := dragonfly.AMGTrace(dragonfly.AMGConfig{
+		X: 4, Y: 4, Z: 4, Cycles: 3, Levels: 4, PeakBytes: 10 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return map[string]*dragonfly.Trace{"CR": cr, "FB": fb, "AMG": amg}
+}
+
+func main() {
+	traces := appTraces()
+	for _, app := range []string{"CR", "FB", "AMG"} {
+		type row struct {
+			name string
+			max  dragonfly.Time
+		}
+		var rows []row
+		for _, cell := range dragonfly.AllCells() {
+			res, err := dragonfly.Run(dragonfly.MiniConfig(traces[app], cell, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row{cell.Name(), res.MaxCommTime()})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].max < rows[j].max })
+		fmt.Printf("%s — configurations ranked by max communication time:\n", app)
+		for i, r := range rows {
+			marker := "  "
+			if i == 0 {
+				marker = "* "
+			}
+			fmt.Printf("  %s%-9s %v\n", marker, r.name, r.max)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(* = best; the paper finds CR/FB prefer balanced-traffic placements")
+	fmt.Println(" while the lighter, bursty AMG prefers localized placement.)")
+}

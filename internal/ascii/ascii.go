@@ -1,0 +1,160 @@
+// Package ascii renders the paper's two figure styles — empirical CDF
+// curves (Figs. 4-6) and box plots (Figs. 3, 8-10) — as plain-text
+// graphics for terminal reports.
+package ascii
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dragonfly/internal/stats"
+)
+
+// series glyphs, assigned to series in sorted-name order.
+var glyphs = []byte("ox*+#@%&$~")
+
+// CDFPlot renders the empirical CDFs of several named series on one
+// width x height grid: x is the value axis (shared range), y is the
+// cumulative fraction. Empty series are skipped.
+func CDFPlot(series map[string][]float64, width, height int) string {
+	if width < 16 || height < 4 {
+		panic("ascii: CDFPlot needs width >= 16 and height >= 4")
+	}
+	names := make([]string, 0, len(series))
+	lo, hi := 0.0, 0.0
+	first := true
+	for name, vals := range series {
+		if len(vals) == 0 {
+			continue
+		}
+		names = append(names, name)
+		for _, v := range vals {
+			if first {
+				lo, hi, first = v, v, false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		cdf := stats.CDF(series[name])
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			frac := stats.CDFAt(cdf, x)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	for r, line := range grid {
+		frac := 100 * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%3.0f%% |%s|\n", frac, string(line))
+	}
+	fmt.Fprintf(&b, "     %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "     %-*s%*s\n", width/2+1, fmt.Sprintf("%.4g", lo), width/2+1, fmt.Sprintf("%.4g", hi))
+	for si, name := range names {
+		fmt.Fprintf(&b, "     %c = %s\n", glyphs[si%len(glyphs)], name)
+	}
+	return b.String()
+}
+
+// BoxPlot renders one box plot per named series on a shared value axis:
+//
+//	name  |----[==|==]------|
+//
+// with '[' ']' at the quartiles, '|' at median and whiskers.
+func BoxPlot(series []NamedValues, width int) string {
+	if width < 20 {
+		panic("ascii: BoxPlot needs width >= 20")
+	}
+	lo, hi := 0.0, 0.0
+	first := true
+	boxes := make([]stats.Box, len(series))
+	nameW := 4
+	for i, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		boxes[i] = stats.BoxOf(s.Values)
+		if first {
+			lo, hi, first = boxes[i].Min, boxes[i].Max, false
+		}
+		if boxes[i].Min < lo {
+			lo = boxes[i].Min
+		}
+		if boxes[i].Max > hi {
+			hi = boxes[i].Max
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	col := func(v float64) int {
+		c := int(float64(width-1) * (v - lo) / (hi - lo))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for i, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		line := []byte(strings.Repeat(" ", width))
+		bx := boxes[i]
+		for c := col(bx.Min); c <= col(bx.Max); c++ {
+			line[c] = '-'
+		}
+		for c := col(bx.Q1); c <= col(bx.Q3); c++ {
+			line[c] = '='
+		}
+		line[col(bx.Min)] = '|'
+		line[col(bx.Max)] = '|'
+		line[col(bx.Q1)] = '['
+		line[col(bx.Q3)] = ']'
+		line[col(bx.Median)] = '|'
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, s.Name, string(line))
+	}
+	fmt.Fprintf(&b, "%-*s  %s\n", nameW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%-*s  %-*s%*s\n", nameW, "",
+		width/2, fmt.Sprintf("%.4g", lo), width/2, fmt.Sprintf("%.4g", hi))
+	return b.String()
+}
+
+// NamedValues is one labeled sample set.
+type NamedValues struct {
+	Name   string
+	Values []float64
+}

@@ -1,0 +1,100 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFPlotBasics(t *testing.T) {
+	out := CDFPlot(map[string][]float64{
+		"alpha": {1, 2, 3, 4, 5},
+		"beta":  {3, 3, 3, 3, 3},
+	}, 40, 10)
+	if !strings.Contains(out, "o = alpha") || !strings.Contains(out, "x = beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "0%") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// Axis range 1..5 appears.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "5") {
+		t.Fatalf("value range missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10+2+2 {
+		t.Fatalf("unexpected plot height %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCDFPlotEmptyAndDegenerate(t *testing.T) {
+	if out := CDFPlot(map[string][]float64{}, 20, 5); out != "(no data)\n" {
+		t.Fatalf("empty = %q", out)
+	}
+	if out := CDFPlot(map[string][]float64{"a": {}}, 20, 5); out != "(no data)\n" {
+		t.Fatalf("empty series = %q", out)
+	}
+	out := CDFPlot(map[string][]float64{"a": {7, 7, 7}}, 20, 5)
+	if !strings.Contains(out, "o = a") {
+		t.Fatalf("degenerate series unplottable:\n%s", out)
+	}
+}
+
+func TestCDFPlotPanicsOnTinyCanvas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CDFPlot(map[string][]float64{"a": {1}}, 5, 2)
+}
+
+func TestBoxPlotMarkers(t *testing.T) {
+	out := BoxPlot([]NamedValues{
+		{Name: "cont-min", Values: []float64{1, 2, 3, 4, 9}},
+		{Name: "rand-adp", Values: []float64{2, 2.5, 3, 3.5, 4}},
+	}, 50)
+	if !strings.Contains(out, "cont-min") || !strings.Contains(out, "rand-adp") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	for _, marker := range []string{"[", "]", "=", "-"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("marker %q missing:\n%s", marker, out)
+		}
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	if out := BoxPlot(nil, 30); out != "(no data)\n" {
+		t.Fatalf("empty = %q", out)
+	}
+	out := BoxPlot([]NamedValues{{Name: "a", Values: nil}, {Name: "b", Values: []float64{5}}}, 30)
+	if strings.Contains(out, "a |") {
+		t.Fatalf("empty series plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "b") {
+		t.Fatalf("singleton series missing:\n%s", out)
+	}
+}
+
+func TestBoxPlotSharedAxis(t *testing.T) {
+	// A series spanning [0,10] and one at [9,10]: the second's box must
+	// sit at the right edge.
+	out := BoxPlot([]NamedValues{
+		{Name: "wide", Values: []float64{0, 5, 10}},
+		{Name: "high", Values: []float64{9, 9.5, 10}},
+	}, 40)
+	lines := strings.Split(out, "\n")
+	high := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "high") {
+			high = l
+		}
+	}
+	if high == "" {
+		t.Fatalf("high row missing:\n%s", out)
+	}
+	leftHalf := high[:len(high)/2]
+	if strings.ContainsAny(leftHalf, "[]=") {
+		t.Fatalf("high box leaked into left half of shared axis:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core orchestrates the paper's study: it wires a machine, places a
+// job under one of the five placement policies, replays an application
+// trace under minimal or adaptive routing — optionally against synthetic
+// background traffic — and reports the four evaluation metrics. One Run is
+// one cell of the paper's design space (Table I x application x load).
+package core
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/mapping"
+	"dragonfly/internal/metrics"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Topology topology.Config
+	Params   network.Params
+
+	Placement placement.Policy
+	Routing   routing.Mechanism
+	// Mapping assigns ranks to the allocated nodes; the zero value is the
+	// paper's identity mapping. Alternatives implement the paper's
+	// task-mapping future work (Sec. VI).
+	Mapping mapping.Policy
+
+	// Trace is the application to replay.
+	Trace *trace.Trace
+	// MsgScale multiplies every message size (sensitivity study); 0 = 1.
+	MsgScale float64
+
+	// Background, when non-nil, runs the synthetic interference job on
+	// every node not assigned to the application.
+	Background *workload.BackgroundConfig
+
+	// Seed drives every random stream of the run.
+	Seed int64
+
+	// MaxSimTime aborts a run at this simulated time (0 = unlimited); the
+	// result then carries the partial progress, with Completed = false.
+	MaxSimTime des.Time
+}
+
+// Name returns the paper's abbreviation for the placement x routing cell,
+// e.g. "cont-min" (Table I).
+func (c Config) Name() string {
+	return fmt.Sprintf("%s-%s", c.Placement, c.Routing)
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Config    Config
+	Completed bool // every rank finished before MaxSimTime
+
+	// CommTimes is the per-rank communication time (Sec. III-E).
+	CommTimes []des.Time
+	// AvgHops is the per-rank mean routers traversed by received packets.
+	AvgHops []float64
+	// Links snapshots every directed channel's traffic and saturation.
+	Links []network.LinkStat
+	// AppRouters is the set of routers serving the application's nodes.
+	AppRouters map[topology.RouterID]bool
+	// AppNodes is the allocation, rank-ordered.
+	AppNodes []topology.NodeID
+
+	// BackgroundPeakLoad is the Table II quantity for the run's background
+	// job (0 without background).
+	BackgroundPeakLoad int64
+
+	// Duration is the simulated time consumed; Events the DES event count.
+	Duration des.Time
+	Events   uint64
+}
+
+// MaxCommTime returns the slowest rank's communication time.
+func (r *Result) MaxCommTime() des.Time {
+	var max des.Time
+	for _, t := range r.CommTimes {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// CommTimesMs returns per-rank communication times in milliseconds.
+func (r *Result) CommTimesMs() []float64 { return metrics.CommTimesMs(r.CommTimes) }
+
+// LocalTraffic returns MiB per local channel, machine-wide or (restrict)
+// only for channels leaving the application's routers.
+func (r *Result) LocalTraffic(restrict bool) []float64 {
+	return metrics.ChannelTraffic(r.Links, routing.Local, r.filter(restrict))
+}
+
+// GlobalTraffic returns MiB per global channel.
+func (r *Result) GlobalTraffic(restrict bool) []float64 {
+	return metrics.ChannelTraffic(r.Links, routing.Global, r.filter(restrict))
+}
+
+// LocalSaturation returns milliseconds of saturation per local channel.
+func (r *Result) LocalSaturation(restrict bool) []float64 {
+	return metrics.ChannelSaturation(r.Links, routing.Local, r.filter(restrict))
+}
+
+// GlobalSaturation returns milliseconds of saturation per global channel.
+func (r *Result) GlobalSaturation(restrict bool) []float64 {
+	return metrics.ChannelSaturation(r.Links, routing.Global, r.filter(restrict))
+}
+
+func (r *Result) filter(restrict bool) map[topology.RouterID]bool {
+	if restrict {
+		return r.AppRouters
+	}
+	return nil
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("core: config has no trace")
+	}
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	eng := des.New()
+	root := des.NewRNG(cfg.Seed, "core")
+	fab, err := network.New(eng, topo, cfg.Params, cfg.Routing, root.Stream("fabric"))
+	if err != nil {
+		return nil, err
+	}
+
+	nodes, err := placement.Allocate(topo, cfg.Placement, cfg.Trace.NumRanks(), root.Stream("placement"))
+	if err != nil {
+		return nil, err
+	}
+	nodes, err = mapping.Apply(cfg.Mapping, topo, nodes, root.Stream("mapping"))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := workload.NewReplay(fab, workload.Job{
+		Name:     cfg.Trace.App,
+		Trace:    cfg.Trace,
+		Nodes:    nodes,
+		MsgScale: cfg.MsgScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var bg *workload.Background
+	var peak int64
+	if cfg.Background != nil {
+		if err := cfg.Background.Validate(); err != nil {
+			return nil, err
+		}
+		rest := placement.Remaining(topo, nodes)
+		bg = workload.StartBackground(fab, *cfg.Background, rest, root.Stream("background"))
+		peak = cfg.Background.PeakLoad(len(rest))
+	}
+
+	rep.Start()
+	deadline := cfg.MaxSimTime
+	if bg == nil && deadline == 0 {
+		// No perpetual traffic source: the queue drains by itself.
+		eng.Run()
+	} else {
+		for !rep.Done() {
+			if deadline > 0 && eng.Now() >= deadline {
+				break
+			}
+			if !eng.Step() {
+				break
+			}
+		}
+	}
+	if bg != nil {
+		bg.Stop()
+	}
+	fab.FinishStats()
+
+	return &Result{
+		Config:             cfg,
+		Completed:          rep.Done(),
+		CommTimes:          rep.CommTimes(),
+		AvgHops:            rep.AvgHopsPerRank(),
+		Links:              fab.LinkStats(),
+		AppRouters:         metrics.RouterSet(topo, rep.Nodes()),
+		AppNodes:           rep.Nodes(),
+		BackgroundPeakLoad: peak,
+		Duration:           eng.Now(),
+		Events:             eng.Processed(),
+	}, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+func multiConfig(t *testing.T, jobs []JobSpec) MultiConfig {
+	t.Helper()
+	return MultiConfig{
+		Topology: topology.Mini(),
+		Params:   network.DefaultParams(),
+		Routing:  routing.Adaptive,
+		Jobs:     jobs,
+		Seed:     1,
+	}
+}
+
+func smallCR(t *testing.T, ranks int, bytes int64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.CR(trace.CRConfig{Ranks: ranks, MessageBytes: bytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func smallAMG(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.AMG(trace.AMGConfig{X: 3, Y: 3, Z: 3, Cycles: 2, Levels: 3, PeakBytes: 8 * trace.KB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunMultiTwoJobsComplete(t *testing.T) {
+	res, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "cr", Trace: smallCR(t, 16, 32*trace.KB), Placement: placement.RandomNode},
+		{Name: "amg", Trace: smallAMG(t), Placement: placement.Contiguous},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatal("co-run did not complete")
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, j := range res.Jobs {
+		if j.MaxCommTime() <= 0 {
+			t.Fatalf("job %s has nonpositive comm time", j.Name)
+		}
+		for _, n := range j.Nodes {
+			if seen[n] {
+				t.Fatalf("node %d shared between jobs", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRunMultiInterferenceVsIsolation(t *testing.T) {
+	// The bully effect: AMG co-running with a heavy CR is slower than AMG
+	// alone under the same placement and routing.
+	amg := smallAMG(t)
+	alone, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "amg", Trace: amg, Placement: placement.RandomNode},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "amg", Trace: amg, Placement: placement.RandomNode},
+		{Name: "cr", Trace: smallCR(t, 32, 256*trace.KB), Placement: placement.RandomNode},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.Completed() {
+		t.Fatal("co-run did not complete")
+	}
+	if co.Jobs[0].MaxCommTime() <= alone.Jobs[0].MaxCommTime() {
+		t.Fatalf("co-running did not slow AMG: alone %v, co %v",
+			alone.Jobs[0].MaxCommTime(), co.Jobs[0].MaxCommTime())
+	}
+}
+
+func TestRunMultiStaggeredStarts(t *testing.T) {
+	late := 50 * des.Microsecond
+	res, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "first", Trace: smallCR(t, 8, 16*trace.KB), Placement: placement.Contiguous},
+		{Name: "second", Trace: smallCR(t, 8, 16*trace.KB), Placement: placement.Contiguous, Start: late},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatal("staggered co-run did not complete")
+	}
+	if res.Duration < late {
+		t.Fatalf("run ended at %v, before the second job's start %v", res.Duration, late)
+	}
+}
+
+func TestRunMultiRejectsOverCommitment(t *testing.T) {
+	if _, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "a", Trace: smallCR(t, 48, trace.KB), Placement: placement.Contiguous},
+		{Name: "b", Trace: smallCR(t, 48, trace.KB), Placement: placement.Contiguous},
+	})); err == nil {
+		t.Fatal("accepted jobs exceeding the machine")
+	}
+	if _, err := RunMulti(multiConfig(t, nil)); err == nil {
+		t.Fatal("accepted empty co-run")
+	}
+	if _, err := RunMulti(multiConfig(t, []JobSpec{{Name: "x"}})); err == nil {
+		t.Fatal("accepted job without trace")
+	}
+}
+
+func TestRunMultiMaxSimTime(t *testing.T) {
+	cfg := multiConfig(t, []JobSpec{
+		{Name: "cr", Trace: smallCR(t, 32, 512*trace.KB), Placement: placement.Contiguous},
+	})
+	cfg.MaxSimTime = 5 * des.Microsecond
+	res, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed() {
+		t.Fatal("claimed completion despite tiny deadline")
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	build := func() MultiConfig {
+		return multiConfig(t, []JobSpec{
+			{Name: "cr", Trace: smallCR(t, 16, 32*trace.KB), Placement: placement.RandomNode},
+			{Name: "amg", Trace: smallAMG(t), Placement: placement.RandomCabinet},
+		})
+	}
+	a, err := RunMulti(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulti(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Events != b.Events {
+		t.Fatalf("nondeterministic co-run: (%v,%d) vs (%v,%d)", a.Duration, a.Events, b.Duration, b.Events)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+// Cell is one placement x routing combination of Table I.
+type Cell struct {
+	Placement placement.Policy
+	Routing   routing.Mechanism
+}
+
+// Name returns the paper's abbreviation, e.g. "chas-adp".
+func (c Cell) Name() string { return c.Placement.String() + "-" + c.Routing.String() }
+
+// AllCells lists the ten configurations in the paper's presentation order:
+// the five placements under minimal routing, then under adaptive routing.
+func AllCells() []Cell {
+	var out []Cell
+	for _, mech := range []routing.Mechanism{routing.Minimal, routing.Adaptive} {
+		for _, pol := range placement.All() {
+			out = append(out, Cell{Placement: pol, Routing: mech})
+		}
+	}
+	return out
+}
+
+// ExtremeCells lists the four combinations the sensitivity study uses
+// (Sec. IV-B): contiguous and random-node under both routings — the extreme
+// cases of localized communication and balanced traffic.
+func ExtremeCells() []Cell {
+	return []Cell{
+		{placement.Contiguous, routing.Minimal},
+		{placement.RandomNode, routing.Minimal},
+		{placement.Contiguous, routing.Adaptive},
+		{placement.RandomNode, routing.Adaptive},
+	}
+}
+
+// ThetaConfig builds a run on the paper's machine.
+func ThetaConfig(tr *trace.Trace, cell Cell, seed int64) Config {
+	return Config{
+		Topology:  topology.Theta(),
+		Params:    network.DefaultParams(),
+		Placement: cell.Placement,
+		Routing:   cell.Routing,
+		Trace:     tr,
+		Seed:      seed,
+	}
+}
+
+// MiniConfig builds a run on the small test machine.
+func MiniConfig(tr *trace.Trace, cell Cell, seed int64) Config {
+	return Config{
+		Topology:  topology.Mini(),
+		Params:    network.DefaultParams(),
+		Placement: cell.Placement,
+		Routing:   cell.Routing,
+		Trace:     tr,
+		Seed:      seed,
+	}
+}

@@ -1,0 +1,30 @@
+package des
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event throughput: the simulator's
+// fundamental cost unit.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	var fire func(depth int)
+	n := 0
+	fire = func(depth int) {
+		n++
+		if depth > 0 {
+			e.Schedule(1, func() { fire(depth - 1) })
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i), func() { fire(9) })
+	}
+	e.Run()
+	b.ReportMetric(float64(n)/float64(b.N), "events/op")
+}
+
+func BenchmarkRNGStream(b *testing.B) {
+	r := NewRNG(1, "bench")
+	for i := 0; i < b.N; i++ {
+		_ = r.Int63()
+	}
+}

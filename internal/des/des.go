@@ -1,0 +1,141 @@
+// Package des provides a deterministic sequential discrete-event simulation
+// engine: a time-ordered event queue with FIFO tie-breaking and named,
+// reproducible random-number streams.
+//
+// It is the substitute for the ROSS parallel discrete-event core that CODES
+// runs on. The paper uses parallel execution only for simulator speed; a
+// sequential engine is bit-reproducible and sufficient at this scale.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Milliseconds reports t as a floating-point millisecond count, the unit the
+// paper's figures use.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a sequential discrete-event simulator. The zero value is ready
+// to use at time 0.
+type Engine struct {
+	pq        eventHeap
+	now       Time
+	seq       uint64
+	processed uint64
+	running   bool
+}
+
+// New returns a fresh engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// it panics, since time cannot flow backwards in a DES.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamp <= deadline and returns the time
+// of the last executed event (or the current time if none ran). Events
+// scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("des: Run called re-entrantly from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event, reporting whether one was available.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}

@@ -1,0 +1,228 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValueUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	if got := e.Run(); got != 5 {
+		t.Fatalf("Run returned %v, want 5", got)
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order[%d] = %d, want %d (insertion order)", i, v, i)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var times []Time
+	var chain func(depth int)
+	chain = func(depth int) {
+		times = append(times, e.Now())
+		if depth < 5 {
+			e.Schedule(7, func() { chain(depth + 1) })
+		}
+	}
+	e.Schedule(0, func() { chain(0) })
+	end := e.Run()
+	if end != 35 {
+		t.Fatalf("end time %v, want 35", end)
+	}
+	for i, tm := range times {
+		if tm != Time(i*7) {
+			t.Fatalf("times[%d] = %v, want %d", i, tm, i*7)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var hits []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { hits = append(hits, d) })
+	}
+	e.RunUntil(25)
+	if len(hits) != 2 {
+		t.Fatalf("executed %d events by t=25, want 2", len(hits))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(hits) != 4 {
+		t.Fatalf("executed %d events total, want 4", len(hits))
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 17 {
+		t.Fatalf("Processed = %d, want 17", e.Processed())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for At in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+// Property: for any batch of delays, events execute in nondecreasing time
+// order and the engine clock matches each event's scheduled time.
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var seen []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() {
+				seen = append(seen, e.Now())
+			})
+		}
+		e.Run()
+		if len(seen) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if seen[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeMilliseconds(t *testing.T) {
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Fatalf("Milliseconds = %v, want 1.5", got)
+	}
+}
+
+func TestHeavyInterleavedLoad(t *testing.T) {
+	// Stress the heap with randomized scheduling from inside handlers.
+	e := New()
+	r := rand.New(rand.NewSource(1))
+	count := 0
+	var spawn func(budget int)
+	spawn = func(budget int) {
+		count++
+		if budget <= 0 {
+			return
+		}
+		kids := r.Intn(3)
+		for i := 0; i < kids; i++ {
+			e.Schedule(Time(r.Intn(100)+1), func() { spawn(budget - 1) })
+		}
+	}
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(r.Intn(1000)), func() { spawn(6) })
+	}
+	e.Run()
+	if count < 50 {
+		t.Fatalf("ran %d events, want >= 50", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", e.Pending())
+	}
+}

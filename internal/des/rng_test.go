@@ -1,0 +1,110 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicBySeedAndName(t *testing.T) {
+	a := NewRNG(42, "placement")
+	b := NewRNG(42, "placement")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) produced different sequences")
+		}
+	}
+}
+
+func TestRNGNameSeparatesStreams(t *testing.T) {
+	a := NewRNG(42, "placement")
+	b := NewRNG(42, "routing")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names collided %d/100 times", same)
+	}
+}
+
+func TestRNGSeedSeparatesStreams(t *testing.T) {
+	a := NewRNG(1, "x")
+	b := NewRNG(2, "x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGChildStreams(t *testing.T) {
+	a := NewRNG(7, "root").Stream("child")
+	b := NewRNG(7, "root").Stream("child")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("derived child streams differ for same lineage")
+		}
+	}
+}
+
+func TestIntnRangeBounds(t *testing.T) {
+	r := NewRNG(3, "bounds")
+	for i := 0; i < 1000; i++ {
+		v := r.IntnRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntnRange(5,9) = %d out of bounds", v)
+		}
+	}
+	if got := r.IntnRange(4, 4); got != 4 {
+		t.Fatalf("degenerate range returned %d, want 4", got)
+	}
+}
+
+func TestIntnRangePanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(0, "p").IntnRange(2, 1)
+}
+
+func TestLogUniformBoundsProperty(t *testing.T) {
+	r := NewRNG(11, "logu")
+	f := func(loSeed, span uint8) bool {
+		lo := 1.0 + float64(loSeed)
+		hi := lo * (1.0 + float64(span))
+		v := r.LogUniform(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogUniformDegenerate(t *testing.T) {
+	r := NewRNG(11, "logu")
+	if got := r.LogUniform(3, 3); got != 3 {
+		t.Fatalf("LogUniform(3,3) = %v, want 3", got)
+	}
+}
+
+func TestLogUniformPanicsOnBadRange(t *testing.T) {
+	r := NewRNG(0, "p")
+	for _, c := range []struct{ lo, hi float64 }{{0, 1}, {-1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogUniform(%v,%v): expected panic", c.lo, c.hi)
+				}
+			}()
+			r.LogUniform(c.lo, c.hi)
+		}()
+	}
+}

@@ -1,0 +1,423 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. IV). Each experiment is addressed by the paper's artifact
+// id — "table1", "table2", "fig2" … "fig10" — and produces a Report of
+// plain-text tables (and optionally CSV files) carrying the same rows or
+// series the paper plots.
+//
+// Experiments run at two scales:
+//
+//   - ScalePaper: the Theta machine and the paper's application sizes
+//     (1,000-rank CR and FB, 1,728-rank AMG). Minutes of wall time.
+//   - ScaleQuick: a structurally similar small machine and proportionally
+//     shrunk applications. Seconds of wall time; used by tests and benches.
+//
+// Absolute times differ from the paper (its CODES runs model a specific
+// Aries microarchitecture and longer traces); the comparisons — which
+// configuration wins, by roughly what factor, where crossovers fall — are
+// the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/des"
+	"dragonfly/internal/network"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workload"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// ScaleQuick shrinks machine and applications for fast runs.
+	ScaleQuick Scale = iota
+	// ScalePaper uses the Theta machine and the paper's application sizes.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "quick"
+}
+
+// Options configures a Runner.
+type Options struct {
+	Scale Scale
+	Seed  int64
+	// DataDir, when non-empty, receives one CSV file per produced table.
+	DataDir string
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+	// BurstDivisor scales down the bursty background volume (Sec. IV-C) by
+	// limiting each node's fan-out to (peers)/BurstDivisor while keeping
+	// the per-peer message size; 0 means the scale's default (32 at paper
+	// scale, 4 at quick scale). Table II always reports the full,
+	// unscaled loads.
+	BurstDivisor int
+}
+
+// Runner executes experiments, caching simulation results so that figures
+// sharing runs (e.g. Figs. 3 and 4) pay for them once.
+type Runner struct {
+	opts  Options
+	cache map[string]*core.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]*core.Result)}
+}
+
+// IDs lists the experiment identifiers in the paper's order.
+func IDs() []string {
+	return []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+}
+
+// Run executes one experiment by id.
+func (r *Runner) Run(id string) (*Report, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return r.TableI()
+	case "table2":
+		return r.TableII()
+	case "fig2":
+		return r.Figure2()
+	case "fig3":
+		return r.Figure3()
+	case "fig4":
+		return r.Figure4()
+	case "fig5":
+		return r.Figure5()
+	case "fig6":
+		return r.Figure6()
+	case "fig7":
+		return r.Figure7()
+	case "fig8":
+		return r.Figure8()
+	case "fig9":
+		return r.Figure9()
+	case "fig10":
+		return r.Figure10()
+	case "xmap":
+		return r.XMap()
+	case "xmulti":
+		return r.XMulti()
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s; extensions: %s)",
+			id, strings.Join(IDs(), ", "), strings.Join(ExtensionIDs(), ", "))
+	}
+}
+
+// --- report model -----------------------------------------------------------
+
+// Table is one printable/CSV-able result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Plot is a pre-rendered ASCII figure accompanying the tables.
+type Plot struct {
+	Title string
+	Text  string
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []Table
+	Plots  []Plot
+}
+
+// WriteText renders the report as aligned plain text.
+func (rep *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s (scale not shown; see notes) ==\n", rep.ID, rep.Title); err != nil {
+		return err
+	}
+	for _, n := range rep.Notes {
+		if _, err := fmt.Fprintf(w, "   note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, t := range rep.Tables {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", t.Title); err != nil {
+			return err
+		}
+		widths := make([]int, len(t.Columns))
+		for i, c := range t.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) string {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+			return strings.TrimRight(strings.Join(parts, "  "), " ")
+		}
+		if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if _, err := fmt.Fprintln(w, line(row)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range rep.Plots {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n%s", p.Title, p.Text); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes each table as <dir>/<id>_<slug>.csv.
+func (rep *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range rep.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, slug(t.Title)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, strings.Join(t.Columns, ","))
+		for _, row := range t.Rows {
+			fmt.Fprintln(f, strings.Join(row, ","))
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "_"):
+			b.WriteRune('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+// finish optionally dumps CSVs and returns the report.
+func (r *Runner) finish(rep *Report) (*Report, error) {
+	rep.Notes = append(rep.Notes, fmt.Sprintf("scale=%s seed=%d", r.opts.Scale, r.opts.Seed))
+	if r.opts.DataDir != "" {
+		if err := rep.WriteCSV(r.opts.DataDir); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func (r *Runner) progressf(format string, args ...interface{}) {
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	}
+}
+
+// --- machine and application catalogs ---------------------------------------
+
+// machine returns the topology of the current scale.
+func (r *Runner) machine() topology.Config {
+	if r.opts.Scale == ScalePaper {
+		return topology.Theta()
+	}
+	// Structurally Theta-like: multiple groups, non-square grid, chassis
+	// and cabinets distinguishable, parallel global links.
+	// 5 groups x (2x8 routers) x 2 nodes = 160 nodes;
+	// global ports: 16 routers x 4 ports = 64 per group, divisible by 4.
+	return topology.Config{
+		Groups:               5,
+		Rows:                 2,
+		Cols:                 8,
+		NodesPerRouter:       2,
+		GlobalPortsPerRouter: 4,
+		ChassisPerCabinet:    2,
+	}
+}
+
+// appNames lists the paper's applications in presentation order.
+func appNames() []string { return []string{"CR", "FB", "AMG"} }
+
+// appTrace generates (once) the trace of an application at the current scale.
+func (r *Runner) appTrace(name string) (*trace.Trace, error) {
+	paper := r.opts.Scale == ScalePaper
+	switch name {
+	case "CR":
+		cfg := trace.DefaultCR()
+		if !paper {
+			cfg = trace.CRConfig{Ranks: 64, MessageBytes: 24 * trace.KB}
+		}
+		return trace.CR(cfg)
+	case "FB":
+		cfg := trace.DefaultFB()
+		if !paper {
+			cfg = trace.FBConfig{
+				X: 4, Y: 4, Z: 4, Iterations: 2,
+				MinBytes: 6 * trace.KB, MaxBytes: 160 * trace.KB,
+				FarPartners: 2, FarFraction: 0.1, Seed: 1,
+			}
+		}
+		return trace.FB(cfg)
+	case "AMG":
+		cfg := trace.DefaultAMG()
+		if !paper {
+			cfg = trace.AMGConfig{X: 4, Y: 4, Z: 4, Cycles: 3, Levels: 4, PeakBytes: 10 * trace.KB}
+		}
+		return trace.AMG(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown application %q", name)
+}
+
+// uniformBackground returns the paper's uniform-random interference
+// (16 KiB per node per interval; Sec. IV-C / Table II).
+func (r *Runner) uniformBackground() workload.BackgroundConfig {
+	cfg := workload.BackgroundConfig{
+		Kind:     workload.UniformRandom,
+		MsgBytes: 16 * 1024,
+		Interval: 50 * des.Microsecond, // within the paper's 0.002-1 ms band
+	}
+	if r.opts.Scale == ScaleQuick {
+		// Sized to the miniature apps' microsecond-scale runs so several
+		// interference waves land while they communicate.
+		cfg.MsgBytes = 32 * 1024
+		cfg.Interval = 5 * des.Microsecond
+	}
+	return cfg
+}
+
+// burstyBackground returns the paper's bursty interference for a target
+// application: 16 KiB per peer for the CR runs, 1 KiB for FB and AMG
+// (decoded from Table II), with the volume reduced by BurstDivisor via a
+// fan-out limit so full-machine bursts stay simulable.
+func (r *Runner) burstyBackground(app string, bgNodes int) workload.BackgroundConfig {
+	per := int64(16 * 1024)
+	if app != "CR" {
+		per = 1024
+	}
+	div := r.opts.BurstDivisor
+	if div == 0 {
+		if r.opts.Scale == ScalePaper {
+			div = 32
+		} else {
+			div = 4
+		}
+	}
+	fan := (bgNodes - 1) / div
+	if fan < 1 {
+		fan = 1
+	}
+	cfg := workload.BackgroundConfig{
+		Kind:     workload.Bursty,
+		MsgBytes: per,
+		Interval: 500 * des.Microsecond, // within the paper's 0.1-60 ms band
+		FanOut:   fan,
+	}
+	if r.opts.Scale == ScaleQuick {
+		cfg.MsgBytes = 32 * 1024
+		cfg.Interval = 25 * des.Microsecond
+	}
+	return cfg
+}
+
+// --- shared simulation plumbing ---------------------------------------------
+
+// resultFor runs (or recalls) one simulation cell.
+func (r *Runner) resultFor(app string, cell core.Cell, msgScale float64, bg *workload.BackgroundConfig) (*core.Result, error) {
+	key := fmt.Sprintf("%s|%s|%g|%v", app, cell.Name(), msgScale, describeBG(bg))
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	tr, err := r.appTrace(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Topology:  r.machine(),
+		Params:    network.DefaultParams(),
+		Placement: cell.Placement,
+		Routing:   cell.Routing,
+		Trace:     tr,
+		MsgScale:  msgScale,
+		Seed:      r.opts.Seed,
+	}
+	if bg != nil {
+		b := *bg
+		cfg.Background = &b
+		// Interference runs cannot drain the queue; bound them.
+		cfg.MaxSimTime = des.Second
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %s: %w", app, cell.Name(), err)
+	}
+	if !res.Completed {
+		return nil, fmt.Errorf("experiments: %s under %s did not complete within %v", app, cell.Name(), cfg.MaxSimTime)
+	}
+	r.progressf("ran %-3s %-9s scale=%-5g bg=%-12s simtime=%v events=%d",
+		app, cell.Name(), orOne(msgScale), describeBG(bg), res.Duration, res.Events)
+	r.cache[key] = res
+	return res, nil
+}
+
+func orOne(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func describeBG(bg *workload.BackgroundConfig) string {
+	if bg == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%s/%dB", bg.Kind, bg.MsgBytes)
+}
+
+// fmtF renders a float compactly for tables.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// percentileRow renders [p25 p50 p75 p90 max] of values; ok for empty input.
+func percentileRow(values []float64) []string {
+	if len(values) == 0 {
+		return []string{"-", "-", "-", "-", "-"}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	qs := []float64{0.25, 0.5, 0.75, 0.9, 1.0}
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(s)-1))
+		out[i] = fmtF(s[idx])
+	}
+	return out
+}

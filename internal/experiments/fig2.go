@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/trace"
+)
+
+// Figure2 regenerates the application characterization: the communication
+// matrix (binned) and the message-load-per-rank-over-time profile of each
+// application. These are properties of the traces alone — no simulation.
+func (r *Runner) Figure2() (*Report, error) {
+	rep := &Report{
+		ID:    "fig2",
+		Title: "Communication matrix and message load per rank (Figure 2)",
+		Notes: []string{
+			"matrices binned to 10x10 in the text report; CSV carries 50x50",
+			"phase index stands in for wall time (traces carry no compute)",
+		},
+	}
+	for _, app := range appNames() {
+		tr, err := r.appTrace(app)
+		if err != nil {
+			return nil, err
+		}
+		rep.Tables = append(rep.Tables, matrixTable(app, tr, 10))
+		if r.opts.DataDir != "" {
+			rep.Tables = append(rep.Tables, matrixTable(app+" full", tr, 50))
+		}
+		rep.Tables = append(rep.Tables, loadTable(app, tr))
+	}
+	return r.finish(rep)
+}
+
+// matrixTable renders the binned communication matrix in MB per bin.
+func matrixTable(app string, tr *trace.Trace, bins int) Table {
+	m := tr.Matrix(bins)
+	t := Table{
+		Title:   fmt.Sprintf("%s communication matrix (MB per bin, %dx%d bins over %d ranks)", app, len(m), len(m), tr.NumRanks()),
+		Columns: make([]string, len(m)+1),
+	}
+	t.Columns[0] = "src_bin"
+	for j := range m {
+		t.Columns[j+1] = fmt.Sprintf("dst%d", j)
+	}
+	const MB = 1024 * 1024
+	for i, row := range m {
+		cells := make([]string, len(row)+1)
+		cells[0] = fmt.Sprintf("src%d", i)
+		for j, v := range row {
+			cells[j+1] = fmt.Sprintf("%.2f", v/MB)
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// loadTable renders the per-phase mean send load per rank in KB.
+func loadTable(app string, tr *trace.Trace) Table {
+	loads := tr.PhaseLoads()
+	t := Table{
+		Title:   fmt.Sprintf("%s message load per rank over time (KB per phase)", app),
+		Columns: []string{"phase", "kb_per_rank"},
+	}
+	for i, l := range loads {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", i), fmt.Sprintf("%.1f", l/1024)})
+	}
+	t.Rows = append(t.Rows, []string{"avg_total", fmt.Sprintf("%.1f", tr.AvgLoadPerRank()/1024)})
+	return t
+}

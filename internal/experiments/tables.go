@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/workload"
+)
+
+// TableI regenerates the paper's nomenclature of placement x routing
+// configurations.
+func (r *Runner) TableI() (*Report, error) {
+	t := Table{
+		Title:   "Nomenclature of different placement and routing configurations",
+		Columns: []string{"placement_policy", "minimal_routing", "adaptive_routing"},
+	}
+	byName := map[string]core.Cell{}
+	for _, c := range core.AllCells() {
+		byName[c.Name()] = c
+	}
+	for _, pol := range []string{"cont", "cab", "chas", "rotr", "rand"} {
+		minName := pol + "-" + routing.Minimal.String()
+		adpName := pol + "-" + routing.Adaptive.String()
+		if _, ok := byName[minName]; !ok {
+			return nil, fmt.Errorf("experiments: missing cell %s", minName)
+		}
+		t.Rows = append(t.Rows, []string{pol, minName, adpName})
+	}
+	return r.finish(&Report{
+		ID:     "table1",
+		Title:  "Placement and routing configurations (Table I)",
+		Tables: []Table{t},
+	})
+}
+
+// TableII regenerates the peak background traffic loads. The loads are
+// analytic properties of the background generators on the full Theta
+// machine (Sec. IV-C): every node not assigned to the target application
+// participates, uniform-random messages are 16 KiB, and bursty per-peer
+// messages are 16 KiB for the CR run and 1 KiB for FB and AMG.
+func (r *Runner) TableII() (*Report, error) {
+	topo := r.machine()
+	machineNodes := topo.Groups * topo.Rows * topo.Cols * topo.NodesPerRouter
+	appRanks := map[string]int{}
+	for _, app := range appNames() {
+		tr, err := r.appTrace(app)
+		if err != nil {
+			return nil, err
+		}
+		appRanks[app] = tr.NumRanks()
+	}
+	const MiB = 1024 * 1024
+	t := Table{
+		Title:   "Peak background traffic load on the network",
+		Columns: []string{"application", "uniform_random_MB", "bursty_GB"},
+	}
+	for _, app := range appNames() {
+		bgNodes := machineNodes - appRanks[app]
+		uni := workload.BackgroundConfig{Kind: workload.UniformRandom, MsgBytes: 16 * 1024, Interval: 1}
+		per := int64(16 * 1024)
+		if app != "CR" {
+			per = 1024
+		}
+		bur := workload.BackgroundConfig{Kind: workload.Bursty, MsgBytes: per, Interval: 1}
+		t.Rows = append(t.Rows, []string{
+			app,
+			fmt.Sprintf("%.2f", float64(uni.PeakLoad(bgNodes))/MiB),
+			fmt.Sprintf("%.2f", float64(bur.PeakLoad(bgNodes))/(1024*MiB)),
+		})
+	}
+	rep := &Report{
+		ID:     "table2",
+		Title:  "Peak background traffic load (Table II)",
+		Tables: []Table{t},
+	}
+	if r.opts.Scale == ScalePaper {
+		rep.Notes = append(rep.Notes,
+			"paper values: CR 38.38/92.00, FB 38.38/5.75, AMG 27.00/2.85")
+	}
+	return r.finish(rep)
+}

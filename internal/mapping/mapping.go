@@ -1,0 +1,99 @@
+// Package mapping implements task mapping — assigning MPI ranks to the
+// nodes of an existing allocation. The paper uses the identity mapping
+// (rank i on the i-th allocated node) and names task mapping for
+// diversified workloads as future work (Sec. VI); this package provides
+// that extension: alternative mappings that preserve or destroy the
+// adjacency between rank space and machine space, studied by the "xmap"
+// extension experiment.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// Policy selects a task-mapping scheme.
+type Policy int
+
+const (
+	// Identity keeps the allocation order: rank i on nodes[i] (the
+	// paper's setup).
+	Identity Policy = iota
+	// Shuffle randomly permutes ranks over the allocated nodes,
+	// destroying any adjacency the placement preserved.
+	Shuffle
+	// RouterPacked orders the allocated nodes router-major (all nodes of
+	// one router consecutively, routers in machine order), packing
+	// consecutive ranks onto shared routers — the locality-restoring
+	// mapping for neighbor-heavy applications on scattered allocations.
+	RouterPacked
+	// GroupPacked orders the allocated nodes group-major, packing
+	// consecutive ranks into the same dragonfly group.
+	GroupPacked
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Identity:
+		return "identity"
+	case Shuffle:
+		return "shuffle"
+	case RouterPacked:
+		return "router-packed"
+	case GroupPacked:
+		return "group-packed"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// All lists the mapping policies.
+func All() []Policy { return []Policy{Identity, Shuffle, RouterPacked, GroupPacked} }
+
+// Parse converts a policy name.
+func Parse(s string) (Policy, error) {
+	for _, p := range All() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("mapping: unknown policy %q", s)
+}
+
+// Apply returns the rank-to-node assignment for an allocation: result[i]
+// is the node of rank i. The input slice is never mutated. rng is used by
+// Shuffle only (may be nil otherwise).
+func Apply(p Policy, topo *topology.Topology, nodes []topology.NodeID, rng *des.RNG) ([]topology.NodeID, error) {
+	out := append([]topology.NodeID(nil), nodes...)
+	switch p {
+	case Identity:
+	case Shuffle:
+		if rng == nil {
+			return nil, fmt.Errorf("mapping: Shuffle needs an RNG")
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	case RouterPacked:
+		sort.Slice(out, func(i, j int) bool {
+			ri, rj := topo.RouterOfNode(out[i]), topo.RouterOfNode(out[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return out[i] < out[j]
+		})
+	case GroupPacked:
+		sort.Slice(out, func(i, j int) bool {
+			gi, gj := topo.GroupOfNode(out[i]), topo.GroupOfNode(out[j])
+			if gi != gj {
+				return gi < gj
+			}
+			return out[i] < out[j]
+		})
+	default:
+		return nil, fmt.Errorf("mapping: unknown policy %d", int(p))
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+package network
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// message is an in-flight transfer between two nodes. Packets carry a
+// pointer to it, so reassembly is a byte count, not a lookup.
+type message struct {
+	id          uint64
+	src, dst    topology.NodeID
+	total       int64
+	remaining   int64 // bytes not yet packetized at the source NIC
+	injected    int64 // bytes fully serialized onto the terminal link
+	received    int64 // bytes delivered at the destination NIC
+	onInjected  func(des.Time)
+	onDelivered func(des.Time)
+}
+
+// nic is a node's network interface: an injection FIFO feeding the node's
+// terminal link, and the instant-drain receive side.
+type nic struct {
+	f     *Fabric
+	node  topology.NodeID
+	sendq []*message
+}
+
+// fillInjection synthesizes at most one pending injection request for the
+// terminal link. The route is computed here, per packet, so adaptive
+// routing senses congestion at injection time (UGAL-L).
+func (n *nic) fillInjection(l *link) {
+	if len(l.reqs) > 0 || len(n.sendq) == 0 {
+		return
+	}
+	msg := n.sendq[0]
+	bytes := int(msg.remaining)
+	if bytes > n.f.params.PacketBytes {
+		bytes = n.f.params.PacketBytes
+	}
+	msg.remaining -= int64(bytes)
+	if msg.remaining == 0 {
+		n.sendq = n.sendq[1:]
+	}
+	pkt := &packet{
+		msg:   msg,
+		bytes: bytes,
+		path:  n.f.chooser.Route(msg.src, msg.dst),
+	}
+	l.enqueue(request{pkt: pkt, vc: 0, in: nil})
+}
+
+// injected is called when a packet has fully left the NIC.
+func (n *nic) injected(pkt *packet, at des.Time) {
+	msg := pkt.msg
+	msg.injected += int64(pkt.bytes)
+	if msg.injected == msg.total && msg.onInjected != nil {
+		msg.onInjected(at)
+	}
+}
+
+// Fabric is the wired machine: every router, NIC, and directed channel,
+// driven by one DES engine. It implements routing.Congestion so the
+// adaptive policy can sense its own output backlogs.
+type Fabric struct {
+	eng    *des.Engine
+	topo   *topology.Topology
+	params Params
+
+	chooser *routing.Chooser
+
+	links    []*link
+	nics     []*nic
+	termIn   []*link           // node -> router, indexed by node
+	termOut  []*link           // router -> node, indexed by node
+	routerTo map[int64][]*link // (fromRouter,toRouter) -> parallel links
+
+	msgSeq uint64
+
+	// per-destination-node hop accounting for the paper's avg-hops metric
+	hopSum   []int64
+	hopCount []int64
+}
+
+func routerPairKey(from, to topology.RouterID) int64 {
+	return int64(from)<<32 | int64(uint32(to))
+}
+
+// New builds and wires a fabric on the given engine.
+func New(eng *des.Engine, topo *topology.Topology, p Params, mech routing.Mechanism, rng *des.RNG) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		eng:      eng,
+		topo:     topo,
+		params:   p,
+		routerTo: make(map[int64][]*link),
+		hopSum:   make([]int64, topo.NumNodes()),
+		hopCount: make([]int64, topo.NumNodes()),
+	}
+	f.chooser = routing.NewChooserOpts(topo, mech, rng.Stream("route"), f, p.Route)
+
+	// Terminal links, both directions, and NICs.
+	f.nics = make([]*nic, topo.NumNodes())
+	f.termIn = make([]*link, topo.NumNodes())
+	f.termOut = make([]*link, topo.NumNodes())
+	for n := 0; n < topo.NumNodes(); n++ {
+		node := topology.NodeID(n)
+		r := topo.RouterOfNode(node)
+		in := newLink(f, routing.Terminal, 1, p.TerminalVCBuffer, p.TerminalBandwidth, p.TerminalLatency)
+		in.from, in.to, in.node = r, r, node
+		out := newLink(f, routing.Terminal, 1, p.TerminalVCBuffer, p.TerminalBandwidth, p.TerminalLatency)
+		out.from, out.to, out.node, out.eject = r, r, node, true
+		f.termIn[n], f.termOut[n] = in, out
+		f.nics[n] = &nic{f: f, node: node}
+	}
+
+	// Local links: one directed link per ordered neighbor pair.
+	for r := 0; r < topo.NumRouters(); r++ {
+		from := topology.RouterID(r)
+		for _, to := range topo.LocalNeighbors(from) {
+			l := newLink(f, routing.Local, routing.NumLocalVC, p.LocalVCBuffer, p.LocalBandwidth, p.LocalLatency)
+			l.from, l.to = from, to
+			key := routerPairKey(from, to)
+			f.routerTo[key] = append(f.routerTo[key], l)
+		}
+	}
+
+	// Global links: two directed links per bidirectional connection;
+	// parallel links between the same router pair are kept distinct.
+	for _, c := range topo.GlobalConns() {
+		for _, dir := range [][2]topology.RouterID{{c.A, c.B}, {c.B, c.A}} {
+			l := newLink(f, routing.Global, routing.NumGlobalVC, p.GlobalVCBuffer, p.GlobalBandwidth, p.GlobalLatency)
+			l.from, l.to = dir[0], dir[1]
+			key := routerPairKey(dir[0], dir[1])
+			f.routerTo[key] = append(f.routerTo[key], l)
+		}
+	}
+	return f, nil
+}
+
+// NodeCount returns the number of nodes the fabric serves.
+func (f *Fabric) NodeCount() int { return f.topo.NumNodes() }
+
+// Engine returns the DES engine driving the fabric.
+func (f *Fabric) Engine() *des.Engine { return f.eng }
+
+// Topology returns the wired machine.
+func (f *Fabric) Topology() *topology.Topology { return f.topo }
+
+// Params returns the channel parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Send queues a message for injection at src's NIC. onInjected fires when
+// the last byte leaves the NIC (the eager-send completion point of the MPI
+// replay layer); onDelivered fires when the last byte reaches dst's NIC.
+// Either callback may be nil. Zero-length messages are modeled as one byte,
+// matching how real MPI stacks still exchange a header.
+func (f *Fabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDelivered func(des.Time)) {
+	if src == dst {
+		// Loopback: no network involvement; complete after a NIC turnaround.
+		at := f.eng.Now() + f.params.TerminalLatency
+		f.eng.At(at, func() {
+			if onInjected != nil {
+				onInjected(at)
+			}
+			if onDelivered != nil {
+				onDelivered(at)
+			}
+		})
+		return
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	f.msgSeq++
+	msg := &message{
+		id: f.msgSeq, src: src, dst: dst,
+		total: bytes, remaining: bytes,
+		onInjected: onInjected, onDelivered: onDelivered,
+	}
+	n := f.nics[src]
+	n.sendq = append(n.sendq, msg)
+	f.termIn[src].kick()
+}
+
+// arrive lands a packet at the far end of link l: either the destination
+// NIC (ejection), or the next router's input buffer.
+func (f *Fabric) arrive(l *link, vc int, pkt *packet) {
+	if l.eject {
+		// The NIC drains instantly: free the buffer and account delivery.
+		l.release(vc, pkt.bytes)
+		f.deliver(pkt)
+		return
+	}
+	if l.kind != routing.Terminal {
+		pkt.hop++ // this arrival completed one router-to-router hop
+	}
+	q := &l.inq[vc]
+	q.q = append(q.q, pkt)
+	if len(q.q) == 1 {
+		f.requestNext(q)
+	}
+}
+
+// requestNext routes the head packet of an input queue to its output link.
+func (f *Fabric) requestNext(q *inputQueue) {
+	pkt := q.q[0]
+	here := q.link.to
+	if pkt.hop >= len(pkt.path.Hops) {
+		// Final router: eject toward the destination node.
+		out := f.termOut[pkt.msg.dst]
+		if out.from != here {
+			panic(fmt.Sprintf("network: packet for node %d ejecting at router %d, want %d",
+				pkt.msg.dst, here, out.from))
+		}
+		out.enqueue(request{pkt: pkt, vc: 0, in: q})
+		return
+	}
+	h := pkt.path.Hops[pkt.hop]
+	if h.From != here {
+		panic(fmt.Sprintf("network: packet at router %d but next hop starts at %d", here, h.From))
+	}
+	out := f.pickLink(h.From, h.To)
+	out.enqueue(request{pkt: pkt, vc: int(h.VC), in: q})
+}
+
+// pickLink resolves a hop to a physical channel; among parallel global
+// links joining the same router pair it picks the least backlogged.
+func (f *Fabric) pickLink(from, to topology.RouterID) *link {
+	ls := f.routerTo[routerPairKey(from, to)]
+	switch len(ls) {
+	case 0:
+		panic(fmt.Sprintf("network: no link %d->%d", from, to))
+	case 1:
+		return ls[0]
+	}
+	best := ls[0]
+	bestLoad := best.load()
+	for _, l := range ls[1:] {
+		if load := l.load(); load < bestLoad {
+			best, bestLoad = l, load
+		}
+	}
+	return best
+}
+
+// load is the congestion figure of one channel: queued request bytes plus
+// reserved receiver-buffer bytes.
+func (l *link) load() int64 {
+	total := l.pending
+	for _, o := range l.occ {
+		total += int64(o)
+	}
+	return total
+}
+
+// deliver completes a packet at its destination NIC and accounts hops.
+func (f *Fabric) deliver(pkt *packet) {
+	msg := pkt.msg
+	f.hopSum[msg.dst] += int64(pkt.path.RoutersTraversed())
+	f.hopCount[msg.dst]++
+	msg.received += int64(pkt.bytes)
+	if msg.received == msg.total && msg.onDelivered != nil {
+		msg.onDelivered(f.eng.Now())
+	}
+}
+
+// OutputBacklog implements routing.Congestion: bytes queued or buffered on
+// the directed channel(s) from one router to another.
+func (f *Fabric) OutputBacklog(from, to topology.RouterID) int64 {
+	var total int64
+	for _, l := range f.routerTo[routerPairKey(from, to)] {
+		total += l.load()
+	}
+	return total
+}
+
+// FinishStats closes open saturation intervals at the current time. Call it
+// after the engine drains and before reading link statistics.
+func (f *Fabric) FinishStats() {
+	now := f.eng.Now()
+	for _, l := range f.links {
+		l.closeStats(now)
+	}
+}
+
+// LinkStat is the per-channel record behind the paper's traffic and
+// saturation figures.
+type LinkStat struct {
+	Kind    routing.LinkKind
+	From    topology.RouterID
+	To      topology.RouterID
+	Node    topology.NodeID // terminal links only
+	Eject   bool            // terminal links only
+	Bytes   int64
+	Packets int64
+	SatTime des.Time
+}
+
+// LinkStats snapshots every directed channel.
+func (f *Fabric) LinkStats() []LinkStat {
+	out := make([]LinkStat, len(f.links))
+	for i, l := range f.links {
+		out[i] = LinkStat{
+			Kind: l.kind, From: l.from, To: l.to,
+			Node: l.node, Eject: l.eject,
+			Bytes: l.bytesTx, Packets: l.packets, SatTime: l.satTotal,
+		}
+	}
+	return out
+}
+
+// AvgHops returns the mean routers-traversed of packets delivered to a
+// node, and the packet count; avg is 0 when no packet arrived.
+func (f *Fabric) AvgHops(node topology.NodeID) (avg float64, packets int64) {
+	c := f.hopCount[node]
+	if c == 0 {
+		return 0, 0
+	}
+	return float64(f.hopSum[node]) / float64(c), c
+}
+
+// QueuedMessages reports how many messages are still queued at NICs;
+// useful for detecting stalls in tests.
+func (f *Fabric) QueuedMessages() int {
+	n := 0
+	for _, nc := range f.nics {
+		n += len(nc.sendq)
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package network
+
+import (
+	"dragonfly/internal/des"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// packet is one unit of switching: at most Params.PacketBytes of a message.
+type packet struct {
+	msg   *message
+	bytes int
+	path  routing.Path
+	hop   int // index of the next hop in path.Hops; == len(Hops) means eject
+}
+
+// request is a packet (at the head of some input queue, or fresh at a NIC)
+// asking to be transmitted over an output link on a given VC.
+type request struct {
+	pkt *packet
+	vc  int
+	// in is the input queue currently holding the packet; nil for injection
+	// (the packet materializes at the NIC when accepted).
+	in *inputQueue
+}
+
+// inputQueue is the receiver-side buffer of one (link, VC): packets that
+// have fully arrived and wait to be switched onward. Buffer occupancy —
+// including in-flight reservations — is tracked by the owning link.
+type inputQueue struct {
+	link *link
+	vc   int
+	q    []*packet
+}
+
+// link is one directed channel: terminal (node->router), ejection
+// (router->node), local, or global. It owns the receiver-side per-VC buffer
+// occupancy (credits), the transmitter serialization state, a FIFO request
+// queue with VC skipping, and the paper's per-channel statistics.
+type link struct {
+	f    *Fabric
+	id   int
+	kind routing.LinkKind
+	// from/to are router IDs for Local/Global links. For Terminal links,
+	// node is the attached compute node: direction In means node->router
+	// (from == to == the router), direction Out means router->node.
+	from, to topology.RouterID
+	node     topology.NodeID
+	eject    bool // terminal link in the router->node direction
+
+	bw      float64
+	latency des.Time
+	vcCap   int
+	numVC   int
+
+	occ       []int // receiver-buffer bytes reserved, per VC
+	busyUntil des.Time
+	kickAt    des.Time // time of the earliest scheduled kick, -1 if none
+
+	reqs    []request // FIFO with VC skipping
+	pending int64     // bytes across queued requests (congestion signal)
+
+	inq []inputQueue // receiver-side queues, one per VC
+
+	// statistics
+	bytesTx  int64
+	packets  int64
+	fullVCs  int
+	satSince des.Time
+	satTotal des.Time
+}
+
+func newLink(f *Fabric, kind routing.LinkKind, numVC, vcCap int, bw float64, lat des.Time) *link {
+	l := &link{
+		f: f, id: len(f.links), kind: kind,
+		bw: bw, latency: lat, vcCap: vcCap, numVC: numVC,
+		occ: make([]int, numVC), kickAt: -1,
+	}
+	l.inq = make([]inputQueue, numVC)
+	for v := range l.inq {
+		l.inq[v] = inputQueue{link: l, vc: v}
+	}
+	f.links = append(f.links, l)
+	return l
+}
+
+// hasCredit reports whether the receiver buffer of vc can accept n bytes.
+func (l *link) hasCredit(vc, n int) bool { return l.occ[vc]+n <= l.vcCap }
+
+// vcFull reports the saturation condition of one VC: it cannot accept a
+// max-size packet.
+func (l *link) vcFull(vc int) bool {
+	return l.vcCap-l.occ[vc] < l.f.params.PacketBytes
+}
+
+// The link saturation clock (Sec. III-E: the time during which a link "has
+// used up all its buffers") integrates the condition "at least one VC
+// buffer is exhausted": traffic of that class is blocked on the channel.
+// Requiring every VC class to fill simultaneously would undercount, because
+// the deadlock-avoidance scheme leaves the higher classes nearly idle.
+
+// reserve claims receiver-buffer space and updates the saturation clock.
+func (l *link) reserve(vc, n int) {
+	wasFull := l.vcFull(vc)
+	l.occ[vc] += n
+	if !wasFull && l.vcFull(vc) {
+		if l.fullVCs == 0 {
+			l.satSince = l.f.eng.Now()
+		}
+		l.fullVCs++
+	}
+}
+
+// release returns receiver-buffer space, closes any saturation interval,
+// and kicks the transmitter, which may now have credit.
+func (l *link) release(vc, n int) {
+	wasFull := l.vcFull(vc)
+	l.occ[vc] -= n
+	if l.occ[vc] < 0 {
+		panic("network: negative buffer occupancy")
+	}
+	if wasFull && !l.vcFull(vc) {
+		l.fullVCs--
+		if l.fullVCs == 0 {
+			l.satTotal += l.f.eng.Now() - l.satSince
+		}
+	}
+	l.kick()
+}
+
+// enqueue adds a transmission request and kicks the transmitter.
+func (l *link) enqueue(r request) {
+	l.reqs = append(l.reqs, r)
+	l.pending += int64(r.pkt.bytes)
+	l.kick()
+}
+
+// kick schedules the transmitter to run as soon as it can. Duplicate kicks
+// for the same instant collapse into one scheduled event.
+func (l *link) kick() {
+	now := l.f.eng.Now()
+	at := now
+	if l.busyUntil > at {
+		at = l.busyUntil
+	}
+	if l.kickAt >= 0 && l.kickAt <= at {
+		return // an equal-or-earlier kick is already scheduled
+	}
+	l.kickAt = at
+	l.f.eng.At(at, func() {
+		if l.kickAt == at {
+			l.kickAt = -1
+		}
+		l.transmit()
+	})
+}
+
+// transmit runs the output arbitration: take the first queued request whose
+// VC has credit downstream (FIFO order with VC skipping — blocked VCs do not
+// head-of-line-block others), serialize it, and hand the packet to the far
+// end after the wire latency.
+func (l *link) transmit() {
+	now := l.f.eng.Now()
+	if l.busyUntil > now {
+		l.kick()
+		return
+	}
+	// NIC-fed links synthesize their next request lazily.
+	if l.kind == routing.Terminal && !l.eject {
+		l.f.nics[l.node].fillInjection(l)
+	}
+	for i, r := range l.reqs {
+		if !l.hasCredit(r.vc, r.pkt.bytes) {
+			continue
+		}
+		// Accept request i.
+		l.reqs = append(l.reqs[:i], l.reqs[i+1:]...)
+		l.pending -= int64(r.pkt.bytes)
+		l.reserve(r.vc, r.pkt.bytes)
+		xfer := serializationTime(r.pkt.bytes, l.bw)
+		l.busyUntil = now + xfer
+		l.bytesTx += int64(r.pkt.bytes)
+		l.packets++
+
+		pkt, vc := r.pkt, r.vc
+		arrival := l.busyUntil + l.latency
+		l.f.eng.At(arrival, func() { l.f.arrive(l, vc, pkt) })
+
+		if r.in != nil {
+			// Free the upstream buffer slot the packet occupied; the credit
+			// travels back over the inbound wire.
+			up, upVC, n := r.in.link, r.in.vc, pkt.bytes
+			l.f.eng.At(now+up.latency, func() { up.release(upVC, n) })
+			// Pop the input queue and let its next head request an output.
+			q := r.in
+			q.q = q.q[1:]
+			if len(q.q) > 0 {
+				l.f.requestNext(q)
+			}
+		} else {
+			// Injection: the NIC finishes putting this packet on the wire
+			// when serialization ends.
+			done := l.busyUntil
+			l.f.eng.At(done, func() { l.f.nics[l.node].injected(pkt, done) })
+		}
+		if len(l.reqs) > 0 || (l.kind == routing.Terminal && !l.eject) {
+			l.kick()
+		}
+		return
+	}
+	// Nothing acceptable: a later credit release will kick us again.
+}
+
+// closeStats finalizes the saturation clock at simulation end so links that
+// finished saturated are charged for the open interval.
+func (l *link) closeStats(end des.Time) {
+	if l.fullVCs > 0 {
+		l.satTotal += end - l.satSince
+		l.satSince = end
+	}
+}

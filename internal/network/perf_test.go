@@ -1,0 +1,54 @@
+package network
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// TestThetaScaleSmoke drives modest random traffic through the full-size
+// Theta fabric to catch wiring or memory problems that Mini cannot expose.
+func TestThetaScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine smoke test skipped in -short mode")
+	}
+	eng := des.New()
+	topo := topology.MustNew(topology.Theta())
+	f, err := New(eng, topo, DefaultParams(), routing.Adaptive, des.NewRNG(1, "theta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewRNG(2, "load")
+	const msgs = 2000
+	delivered := 0
+	for i := 0; i < msgs; i++ {
+		src := topology.NodeID(rng.Intn(topo.NumNodes()))
+		dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+		f.Send(src, dst, int64(rng.IntnRange(1, 190<<10)), nil, func(des.Time) { delivered++ })
+	}
+	eng.Run()
+	if delivered != msgs {
+		t.Fatalf("delivered %d/%d", delivered, msgs)
+	}
+	t.Logf("events processed: %d, simulated time: %v", eng.Processed(), eng.Now())
+}
+
+func BenchmarkFabricRandomTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := des.New()
+		topo := topology.MustNew(topology.Mini())
+		f, err := New(eng, topo, DefaultParams(), routing.Adaptive, des.NewRNG(1, "bench"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := des.NewRNG(2, "load")
+		for m := 0; m < 500; m++ {
+			src := topology.NodeID(rng.Intn(topo.NumNodes()))
+			dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+			f.Send(src, dst, int64(rng.IntnRange(1, 64<<10)), nil, nil)
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,156 @@
+// Package placement implements the five job placement policies the paper
+// compares (Sec. III-B). A placement maps MPI rank i of a job to the i-th
+// node of the returned allocation, so "contiguity" of the allocation order
+// is what preserves communication locality.
+package placement
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// Policy selects one of the paper's placement schemes.
+type Policy int
+
+const (
+	// Contiguous assigns consecutive nodes, preserving spatial locality and
+	// tending to keep a job inside one group.
+	Contiguous Policy = iota
+	// RandomCabinet allocates randomly chosen cabinets; nodes within a
+	// cabinet stay contiguous.
+	RandomCabinet
+	// RandomChassis allocates randomly chosen chassis; nodes within a
+	// chassis stay contiguous.
+	RandomChassis
+	// RandomRouter allocates randomly chosen routers; the nodes of a router
+	// stay together.
+	RandomRouter
+	// RandomNode scatters individual nodes across the whole machine,
+	// balancing traffic at the cost of longer paths.
+	RandomNode
+)
+
+// String returns the paper's abbreviation (Table I): cont, cab, chas, rotr,
+// rand.
+func (p Policy) String() string {
+	switch p {
+	case Contiguous:
+		return "cont"
+	case RandomCabinet:
+		return "cab"
+	case RandomChassis:
+		return "chas"
+	case RandomRouter:
+		return "rotr"
+	case RandomNode:
+		return "rand"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// All lists the policies in the paper's presentation order.
+func All() []Policy {
+	return []Policy{Contiguous, RandomCabinet, RandomChassis, RandomRouter, RandomNode}
+}
+
+// Parse converts an abbreviation or full name to a Policy.
+func Parse(s string) (Policy, error) {
+	switch s {
+	case "cont", "contiguous":
+		return Contiguous, nil
+	case "cab", "random-cabinet", "cabinet":
+		return RandomCabinet, nil
+	case "chas", "random-chassis", "chassis":
+		return RandomChassis, nil
+	case "rotr", "random-router", "router":
+		return RandomRouter, nil
+	case "rand", "random-node", "node":
+		return RandomNode, nil
+	}
+	return 0, fmt.Errorf("placement: unknown policy %q", s)
+}
+
+// Allocate returns the nodes assigned to a job of size ranks on an empty
+// machine; rank i runs on the i-th returned node. The rng drives every
+// random choice, so a (policy, size, seed) triple is reproducible.
+func Allocate(topo *topology.Topology, p Policy, size int, rng *des.RNG) ([]topology.NodeID, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("placement: job size %d must be >= 1", size)
+	}
+	if size > topo.NumNodes() {
+		return nil, fmt.Errorf("placement: job size %d exceeds machine size %d", size, topo.NumNodes())
+	}
+	switch p {
+	case Contiguous:
+		out := make([]topology.NodeID, size)
+		for i := range out {
+			out[i] = topology.NodeID(i)
+		}
+		return out, nil
+	case RandomCabinet:
+		return fillUnits(topo, size, rng, topo.CabinetCount(), func(u int) []topology.NodeID {
+			return nodesOfRouters(topo, topo.RoutersInCabinet(u))
+		}), nil
+	case RandomChassis:
+		return fillUnits(topo, size, rng, topo.ChassisCount(), func(u int) []topology.NodeID {
+			return nodesOfRouters(topo, topo.RoutersInChassis(u))
+		}), nil
+	case RandomRouter:
+		return fillUnits(topo, size, rng, topo.NumRouters(), func(u int) []topology.NodeID {
+			return topo.NodesOfRouter(topology.RouterID(u))
+		}), nil
+	case RandomNode:
+		perm := rng.Perm(topo.NumNodes())
+		out := make([]topology.NodeID, size)
+		for i := range out {
+			out[i] = topology.NodeID(perm[i])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %d", int(p))
+	}
+}
+
+// fillUnits shuffles allocation units (cabinets, chassis, routers) and fills
+// them in shuffled order, keeping each unit's nodes contiguous.
+func fillUnits(topo *topology.Topology, size int, rng *des.RNG, units int, nodesOf func(int) []topology.NodeID) []topology.NodeID {
+	order := rng.Perm(units)
+	out := make([]topology.NodeID, 0, size)
+	for _, u := range order {
+		for _, n := range nodesOf(u) {
+			out = append(out, n)
+			if len(out) == size {
+				return out
+			}
+		}
+	}
+	// size was validated against the machine; the units cover every node.
+	panic("placement: allocation units did not cover the machine")
+}
+
+func nodesOfRouters(topo *topology.Topology, rs []topology.RouterID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(rs)*topo.Config().NodesPerRouter)
+	for _, r := range rs {
+		out = append(out, topo.NodesOfRouter(r)...)
+	}
+	return out
+}
+
+// Remaining returns the machine's nodes not in `used`, in ascending order —
+// the nodes the paper's synthetic background job occupies.
+func Remaining(topo *topology.Topology, used []topology.NodeID) []topology.NodeID {
+	taken := make([]bool, topo.NumNodes())
+	for _, n := range used {
+		taken[n] = true
+	}
+	out := make([]topology.NodeID, 0, topo.NumNodes()-len(used))
+	for n := 0; n < topo.NumNodes(); n++ {
+		if !taken[n] {
+			out = append(out, topology.NodeID(n))
+		}
+	}
+	return out
+}

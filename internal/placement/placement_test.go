@@ -1,0 +1,241 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+func theta(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.MustNew(topology.Theta())
+}
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		got, err := Parse(p.String())
+		if err != nil || got != p {
+			t.Errorf("Parse(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse accepted garbage")
+	}
+	long := map[string]Policy{
+		"contiguous": Contiguous, "random-cabinet": RandomCabinet,
+		"random-chassis": RandomChassis, "random-router": RandomRouter,
+		"random-node": RandomNode,
+	}
+	for s, want := range long {
+		if got, err := Parse(s); err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestAllocateSizeAndUniqueness(t *testing.T) {
+	topo := theta(t)
+	for _, p := range All() {
+		for _, size := range []int{1, 7, 1000, topo.NumNodes()} {
+			nodes, err := Allocate(topo, p, size, des.NewRNG(1, "alloc"))
+			if err != nil {
+				t.Fatalf("%v size %d: %v", p, size, err)
+			}
+			if len(nodes) != size {
+				t.Fatalf("%v size %d: got %d nodes", p, size, len(nodes))
+			}
+			seen := make(map[topology.NodeID]bool, size)
+			for _, n := range nodes {
+				if n < 0 || int(n) >= topo.NumNodes() {
+					t.Fatalf("%v: node %d out of range", p, n)
+				}
+				if seen[n] {
+					t.Fatalf("%v: node %d allocated twice", p, n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestAllocateRejectsBadSizes(t *testing.T) {
+	topo := theta(t)
+	if _, err := Allocate(topo, Contiguous, 0, des.NewRNG(1, "a")); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := Allocate(topo, RandomNode, topo.NumNodes()+1, des.NewRNG(1, "a")); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+func TestContiguousIsPrefix(t *testing.T) {
+	topo := theta(t)
+	nodes, _ := Allocate(topo, Contiguous, 1000, des.NewRNG(1, "c"))
+	for i, n := range nodes {
+		if int(n) != i {
+			t.Fatalf("contiguous rank %d on node %d", i, n)
+		}
+	}
+	// 1000 nodes / 4 per router = 250 routers; 250/96 routers per group ->
+	// spans 3 groups, preserving the locality the paper describes.
+	groups := map[int]bool{}
+	for _, n := range nodes {
+		groups[topo.GroupOfNode(n)] = true
+	}
+	if len(groups) != 3 {
+		t.Fatalf("contiguous 1000-node job spans %d groups, want 3", len(groups))
+	}
+}
+
+func TestRandomCabinetKeepsCabinetsWholeAndContiguous(t *testing.T) {
+	topo := theta(t)
+	const size = 1000
+	nodes, _ := Allocate(topo, RandomCabinet, size, des.NewRNG(5, "cab"))
+	perCab := 48 * topo.Config().NodesPerRouter // 192 nodes
+	for start := 0; start < size; start += perCab {
+		end := start + perCab
+		if end > size {
+			end = size // trailing cabinet may be partially used
+		}
+		cab := topo.CabinetOfRouter(topo.RouterOfNode(nodes[start]))
+		for i := start; i < end; i++ {
+			if topo.CabinetOfRouter(topo.RouterOfNode(nodes[i])) != cab {
+				t.Fatalf("rank %d leaked out of cabinet %d", i, cab)
+			}
+			if i > start && nodes[i] != nodes[i-1]+1 {
+				t.Fatalf("nodes within cabinet not contiguous at rank %d", i)
+			}
+		}
+	}
+}
+
+func TestRandomChassisKeepsChassisWhole(t *testing.T) {
+	topo := theta(t)
+	const size = 1000
+	nodes, _ := Allocate(topo, RandomChassis, size, des.NewRNG(6, "chas"))
+	perChas := 16 * topo.Config().NodesPerRouter // 64 nodes
+	for start := 0; start < size; start += perChas {
+		end := start + perChas
+		if end > size {
+			end = size
+		}
+		ch := topo.ChassisOfRouter(topo.RouterOfNode(nodes[start]))
+		for i := start; i < end; i++ {
+			if topo.ChassisOfRouter(topo.RouterOfNode(nodes[i])) != ch {
+				t.Fatalf("rank %d leaked out of chassis %d", i, ch)
+			}
+		}
+	}
+}
+
+func TestRandomRouterKeepsRoutersWhole(t *testing.T) {
+	topo := theta(t)
+	const size = 1000
+	nodes, _ := Allocate(topo, RandomRouter, size, des.NewRNG(7, "rotr"))
+	per := topo.Config().NodesPerRouter
+	for start := 0; start < size; start += per {
+		end := start + per
+		if end > size {
+			end = size
+		}
+		r := topo.RouterOfNode(nodes[start])
+		for i := start; i < end; i++ {
+			if topo.RouterOfNode(nodes[i]) != r {
+				t.Fatalf("rank %d leaked off router %d", i, r)
+			}
+		}
+	}
+}
+
+func TestRandomNodeSpreadsAcrossGroups(t *testing.T) {
+	topo := theta(t)
+	nodes, _ := Allocate(topo, RandomNode, 1000, des.NewRNG(8, "rand"))
+	counts := map[int]int{}
+	for _, n := range nodes {
+		counts[topo.GroupOfNode(n)]++
+	}
+	if len(counts) != topo.NumGroups() {
+		t.Fatalf("random-node hit %d groups, want all %d", len(counts), topo.NumGroups())
+	}
+	// With 1000 draws over 9 groups, expect roughly 111 per group; 3x
+	// imbalance would indicate a broken shuffle.
+	for g, c := range counts {
+		if c < 37 || c > 333 {
+			t.Fatalf("group %d holds %d ranks, implausible for a uniform shuffle", g, c)
+		}
+	}
+}
+
+func TestAllocateDeterministicBySeed(t *testing.T) {
+	topo := theta(t)
+	for _, p := range All() {
+		a, _ := Allocate(topo, p, 500, des.NewRNG(11, "d"))
+		b, _ := Allocate(topo, p, 500, des.NewRNG(11, "d"))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: allocation differs at rank %d with same seed", p, i)
+			}
+		}
+		c, _ := Allocate(topo, p, 500, des.NewRNG(12, "d"))
+		if p != Contiguous {
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%v: different seeds produced identical allocation", p)
+			}
+		}
+	}
+}
+
+func TestRemainingComplement(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	used, _ := Allocate(topo, RandomNode, 20, des.NewRNG(3, "r"))
+	rest := Remaining(topo, used)
+	if len(rest) != topo.NumNodes()-20 {
+		t.Fatalf("Remaining returned %d nodes, want %d", len(rest), topo.NumNodes()-20)
+	}
+	inUsed := map[topology.NodeID]bool{}
+	for _, n := range used {
+		inUsed[n] = true
+	}
+	for i, n := range rest {
+		if inUsed[n] {
+			t.Fatalf("Remaining contains used node %d", n)
+		}
+		if i > 0 && rest[i-1] >= n {
+			t.Fatal("Remaining not in ascending order")
+		}
+	}
+}
+
+// Property: any (policy, size, seed) allocation is a duplicate-free subset
+// of the machine with exactly `size` members.
+func TestAllocatePropertyMini(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	f := func(policyRaw uint8, sizeRaw uint8, seed int64) bool {
+		p := All()[int(policyRaw)%len(All())]
+		size := 1 + int(sizeRaw)%topo.NumNodes()
+		nodes, err := Allocate(topo, p, size, des.NewRNG(seed, "prop"))
+		if err != nil || len(nodes) != size {
+			return false
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, n := range nodes {
+			if n < 0 || int(n) >= topo.NumNodes() || seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+func TestPoolAllocateMatchesEmptyMachineAllocate(t *testing.T) {
+	topo := topology.MustNew(topology.Theta())
+	for _, p := range All() {
+		direct, err := Allocate(topo, p, 500, des.NewRNG(3, "same"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := NewPool(topo)
+		pooled, err := AllocateFrom(pool, p, 500, des.NewRNG(3, "same"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range direct {
+			if direct[i] != pooled[i] {
+				t.Fatalf("%v: pool allocation diverges from empty-machine allocation at rank %d", p, i)
+			}
+		}
+	}
+}
+
+func TestPoolSequentialJobsDisjoint(t *testing.T) {
+	topo := topology.MustNew(topology.Theta())
+	pool := NewPool(topo)
+	rng := des.NewRNG(5, "jobs")
+	var all []topology.NodeID
+	sizes := []int{300, 700, 128, 1000}
+	policies := []Policy{Contiguous, RandomNode, RandomCabinet, RandomRouter}
+	for i, size := range sizes {
+		nodes, err := AllocateFrom(pool, policies[i], size, rng)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		all = append(all, nodes...)
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, n := range all {
+		if seen[n] {
+			t.Fatalf("node %d allocated to two jobs", n)
+		}
+		seen[n] = true
+	}
+	if pool.Free() != topo.NumNodes()-len(all) {
+		t.Fatalf("Free = %d, want %d", pool.Free(), topo.NumNodes()-len(all))
+	}
+}
+
+func TestPoolContiguousSkipsTakenNodes(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	pool := NewPool(topo)
+	rng := des.NewRNG(1, "frag")
+	// Occupy nodes 0..9 with a first job.
+	first, err := AllocateFrom(pool, Contiguous, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := AllocateFrom(pool, Contiguous, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range second {
+		if int(n) != 10+i {
+			t.Fatalf("second contiguous job rank %d on node %d, want %d", i, n, 10+i)
+		}
+	}
+	_ = first
+}
+
+func TestPoolReleaseReusesNodes(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	pool := NewPool(topo)
+	rng := des.NewRNG(2, "rel")
+	nodes, _ := AllocateFrom(pool, RandomNode, 40, rng)
+	if pool.Free() != 24 {
+		t.Fatalf("Free = %d", pool.Free())
+	}
+	pool.Release(nodes)
+	if pool.Free() != 64 {
+		t.Fatalf("Free after release = %d", pool.Free())
+	}
+	again, err := AllocateFrom(pool, Contiguous, 64, rng)
+	if err != nil || len(again) != 64 {
+		t.Fatalf("full-machine reallocation failed: %v", err)
+	}
+}
+
+func TestPoolRejectsOversizedJob(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	pool := NewPool(topo)
+	rng := des.NewRNG(3, "over")
+	if _, err := AllocateFrom(pool, Contiguous, 60, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateFrom(pool, RandomNode, 5, rng); err == nil {
+		t.Fatal("accepted job exceeding free nodes")
+	}
+	if _, err := AllocateFrom(pool, RandomNode, 0, rng); err == nil {
+		t.Fatal("accepted empty job")
+	}
+}
+
+func TestPoolReleasePanicsOnFreeNode(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	pool := NewPool(topo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pool.Release([]topology.NodeID{1})
+}
+
+// Property: any interleaving of allocations under any policies keeps jobs
+// disjoint and the free count consistent.
+func TestPoolInvariantProperty(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	f := func(sizes []uint8, polRaw []uint8, seed int64) bool {
+		pool := NewPool(topo)
+		rng := des.NewRNG(seed, "prop")
+		used := map[topology.NodeID]bool{}
+		total := 0
+		for i, sz := range sizes {
+			size := 1 + int(sz)%16
+			if size > pool.Free() {
+				break
+			}
+			pol := All()[0]
+			if len(polRaw) > 0 {
+				pol = All()[int(polRaw[i%len(polRaw)])%len(All())]
+			}
+			nodes, err := AllocateFrom(pool, pol, size, rng)
+			if err != nil {
+				return false
+			}
+			for _, n := range nodes {
+				if used[n] {
+					return false
+				}
+				used[n] = true
+			}
+			total += size
+		}
+		return pool.Free() == topo.NumNodes()-total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

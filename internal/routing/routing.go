@@ -1,0 +1,467 @@
+// Package routing implements the two routing mechanisms of the paper
+// (Sec. III-C) for the dragonfly of package topology:
+//
+//   - Minimal routing: the shortest path — within a group, at most one row
+//     hop and one column hop (row first); across groups, local hops to a
+//     gateway router owning a direct global link to the destination group,
+//     the global hop, and local hops to the destination router.
+//   - Adaptive routing (UGAL-style): up to four randomly selected candidate
+//     routes, two minimal and two non-minimal (Valiant: minimal to a random
+//     intermediate router, then minimal to the destination), scored by the
+//     source router's output backlog toward each candidate's first link
+//     multiplied by the candidate's hop count; the lowest score wins and
+//     minimal wins ties.
+//
+// Deadlock avoidance uses monotone virtual-channel classes: the local-link
+// class is (global hops taken) + (Valiant intermediates passed), the
+// global-link class is the number of global hops taken; within one class a
+// group is always traversed row-first-then-column, so the channel dependency
+// graph is acyclic.
+package routing
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// Mechanism selects between the paper's two routing policies.
+type Mechanism int
+
+const (
+	// Minimal always takes a shortest path.
+	Minimal Mechanism = iota
+	// Adaptive chooses among minimal and Valiant candidates by congestion.
+	Adaptive
+)
+
+// String returns the paper's abbreviation for the mechanism ("min"/"adp").
+func (m Mechanism) String() string {
+	switch m {
+	case Minimal:
+		return "min"
+	case Adaptive:
+		return "adp"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// ParseMechanism converts "min"/"minimal"/"adp"/"adaptive" to a Mechanism.
+func ParseMechanism(s string) (Mechanism, error) {
+	switch s {
+	case "min", "minimal":
+		return Minimal, nil
+	case "adp", "adaptive":
+		return Adaptive, nil
+	}
+	return 0, fmt.Errorf("routing: unknown mechanism %q", s)
+}
+
+// LinkKind distinguishes the three channel classes of the machine, which
+// carry different bandwidths and buffer sizes (Sec. II).
+type LinkKind uint8
+
+const (
+	Terminal LinkKind = iota // node <-> router
+	Local                    // router <-> router within a group
+	Global                   // router <-> router across groups
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case Terminal:
+		return "terminal"
+	case Local:
+		return "local"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Virtual-channel class counts required by the scheme above: local classes
+// 0..3 (source group, post-first-global, post-intermediate, destination
+// group of a two-global Valiant path), global classes 0..1.
+const (
+	NumLocalVC  = 4
+	NumGlobalVC = 2
+)
+
+// Hop is one router-to-router traversal.
+type Hop struct {
+	From topology.RouterID
+	To   topology.RouterID
+	Kind LinkKind // Local or Global
+	VC   uint8    // virtual-channel class on this hop
+}
+
+// Path is a source-computed route between the source and destination
+// routers. An empty path means both nodes share a router.
+type Path struct {
+	Hops []Hop
+}
+
+// RoutersTraversed counts routers visited on the way, the paper's hop
+// metric: same-router delivery counts 1.
+func (p Path) RoutersTraversed() int { return len(p.Hops) + 1 }
+
+// GlobalHops counts global-link traversals.
+func (p Path) GlobalHops() int {
+	n := 0
+	for _, h := range p.Hops {
+		if h.Kind == Global {
+			n++
+		}
+	}
+	return n
+}
+
+// Congestion lets the adaptive policy sense backlog. The network fabric
+// implements it; tests can stub it.
+type Congestion interface {
+	// OutputBacklog returns the bytes queued at router `from` waiting to
+	// cross the directed link to router `to` (all VCs).
+	OutputBacklog(from, to topology.RouterID) int64
+}
+
+// zeroCongestion reports an idle network; used when no oracle is supplied.
+type zeroCongestion struct{}
+
+func (zeroCongestion) OutputBacklog(_, _ topology.RouterID) int64 { return 0 }
+
+// GatewayPolicy selects how an inter-group route picks its global link.
+// The paper's minimal routing takes "a global link directly connected to
+// the group having the destination node" — any of the (120 on Theta)
+// parallel links; how a router spreads over them is an Aries routing-table
+// detail, exposed here for the ablation benchmarks.
+type GatewayPolicy int
+
+const (
+	// GatewaySpread (default) picks uniformly among the gateways at most
+	// one local hop away — wide load spreading at low hop cost, matching
+	// how Aries routing tables distribute minimal traffic.
+	GatewaySpread GatewayPolicy = iota
+	// GatewayNearest picks uniformly among the strictly nearest gateways
+	// (usually the source router's own ports) — maximum locality, minimum
+	// path diversity.
+	GatewayNearest
+	// GatewayRandom picks uniformly among all gateways of the group.
+	GatewayRandom
+)
+
+// Options tunes secondary routing decisions. The zero value reproduces the
+// paper's setup; the alternatives exist for the ablation benchmarks.
+type Options struct {
+	// Gateway selects the inter-group global-link policy.
+	Gateway GatewayPolicy
+	// ValiantCandidates is the number of non-minimal candidates the
+	// adaptive policy samples; 0 means the paper's 2.
+	ValiantCandidates int
+	// MinimalBias is the backlog advantage (bytes) a non-minimal candidate
+	// must have before adaptive routing misroutes — the minimal-preference
+	// bias of Aries/UGAL adaptive routing. 0 means the default
+	// (DefaultMinimalBias); negative disables the bias.
+	MinimalBias int64
+}
+
+// DefaultMinimalBias is the default misrouting threshold: a non-minimal
+// route is taken only when it beats the best minimal route's
+// backlog x hops score by more than this many byte-hops (about a dozen
+// max-size packets of advantage). Calibrated so that, at the paper's
+// scale, FB's best configuration is rand-adp and AMG's is cont-adp, as
+// the paper reports (see EXPERIMENTS.md).
+const DefaultMinimalBias = 48 * 1024
+
+func (o Options) minimalBias() int64 {
+	switch {
+	case o.MinimalBias == 0:
+		return DefaultMinimalBias
+	case o.MinimalBias < 0:
+		return 0
+	default:
+		return o.MinimalBias
+	}
+}
+
+func (o Options) valiantCandidates() int {
+	if o.ValiantCandidates <= 0 {
+		return 2
+	}
+	return o.ValiantCandidates
+}
+
+// Chooser computes routes for packets.
+type Chooser struct {
+	topo *topology.Topology
+	mech Mechanism
+	rng  *des.RNG
+	cong Congestion
+	opts Options
+
+	// nearestGW caches, per (router, destination group), the gateways of
+	// the router's group at minimal local distance — the hot lookup of
+	// every inter-group route. Built lazily per entry.
+	nearestGW [][]topology.Gateway
+}
+
+// NewChooser builds a route chooser with default Options. rng drives
+// gateway and Valiant sampling; cong may be nil (treated as an idle
+// network), which makes Adaptive always pick minimal paths.
+func NewChooser(topo *topology.Topology, mech Mechanism, rng *des.RNG, cong Congestion) *Chooser {
+	return NewChooserOpts(topo, mech, rng, cong, Options{})
+}
+
+// NewChooserOpts builds a route chooser with explicit Options.
+func NewChooserOpts(topo *topology.Topology, mech Mechanism, rng *des.RNG, cong Congestion, opts Options) *Chooser {
+	if cong == nil {
+		cong = zeroCongestion{}
+	}
+	return &Chooser{
+		topo: topo, mech: mech, rng: rng, cong: cong, opts: opts,
+		nearestGW: make([][]topology.Gateway, topo.NumRouters()*topo.NumGroups()),
+	}
+}
+
+// Route computes the path for a packet from src to dst node.
+func (c *Chooser) Route(src, dst topology.NodeID) Path {
+	rs := c.topo.RouterOfNode(src)
+	rd := c.topo.RouterOfNode(dst)
+	if rs == rd {
+		return Path{}
+	}
+	switch c.mech {
+	case Minimal:
+		return c.minimalPath(rs, rd)
+	case Adaptive:
+		return c.adaptivePath(rs, rd)
+	default:
+		panic(fmt.Sprintf("routing: unknown mechanism %d", int(c.mech)))
+	}
+}
+
+// appendLocalDOR appends the row-first-then-column intra-group segment from
+// cur to dst (same group) using the given local VC class, returning dst.
+func (c *Chooser) appendLocalDOR(hops []Hop, cur, dst topology.RouterID, class uint8) ([]Hop, topology.RouterID) {
+	if cur == dst {
+		return hops, cur
+	}
+	cc := c.topo.RouterCoord(cur)
+	cd := c.topo.RouterCoord(dst)
+	if cc.Col != cd.Col {
+		mid := c.topo.RouterAt(cc.Group, cc.Row, cd.Col)
+		hops = append(hops, Hop{From: cur, To: mid, Kind: Local, VC: class})
+		cur = mid
+	}
+	if cur != dst {
+		hops = append(hops, Hop{From: cur, To: dst, Kind: Local, VC: class})
+		cur = dst
+	}
+	return hops, cur
+}
+
+// segmentState tracks VC-class progress while a multi-segment path is built.
+type segmentState struct {
+	globalHops int
+	midsPassed int
+}
+
+func (s segmentState) localClass() uint8  { return uint8(s.globalHops + s.midsPassed) }
+func (s segmentState) globalClass() uint8 { return uint8(s.globalHops) }
+
+// appendMinimal appends a minimal route from cur to dst given the current
+// VC-class state, updating the state across global hops.
+func (c *Chooser) appendMinimal(hops []Hop, cur, dst topology.RouterID, st *segmentState) ([]Hop, topology.RouterID) {
+	gs := c.topo.GroupOfRouter(cur)
+	gd := c.topo.GroupOfRouter(dst)
+	if gs == gd {
+		return c.appendLocalDOR(hops, cur, dst, st.localClass())
+	}
+	gw := c.pickGateway(cur, gs, gd)
+	hops, cur = c.appendLocalDOR(hops, cur, gw.Router, st.localClass())
+	peer, _, ok := c.topo.GlobalPeer(gw.Router, gw.Port)
+	if !ok {
+		panic(fmt.Sprintf("routing: gateway %v has unwired port", gw))
+	}
+	hops = append(hops, Hop{From: gw.Router, To: peer, Kind: Global, VC: st.globalClass()})
+	st.globalHops++
+	cur = peer
+	return c.appendLocalDOR(hops, cur, dst, st.localClass())
+}
+
+// pickGateway selects a global link from group gs to gd: among the gateways
+// nearest to cur (fewest local hops), one uniformly at random.
+func (c *Chooser) pickGateway(cur topology.RouterID, gs, gd int) topology.Gateway {
+	if c.opts.Gateway == GatewayRandom {
+		gws := c.topo.Gateways(gs, gd)
+		if len(gws) == 0 {
+			panic(fmt.Sprintf("routing: groups %d and %d not connected", gs, gd))
+		}
+		return gws[c.rng.Intn(len(gws))]
+	}
+	cand := c.gatewayCandidates(cur, gs, gd)
+	if len(cand) == 1 {
+		return cand[0]
+	}
+	return cand[c.rng.Intn(len(cand))]
+}
+
+// gatewayCandidates returns (building and caching on first use) the
+// gateway set of the configured policy: the strictly nearest gateways
+// (GatewayNearest), or every gateway within one local hop (GatewaySpread,
+// falling back to nearest when none is that close).
+func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topology.Gateway {
+	idx := int(cur)*c.topo.NumGroups() + gd
+	if cand := c.nearestGW[idx]; cand != nil {
+		return cand
+	}
+	gws := c.topo.Gateways(gs, gd)
+	if len(gws) == 0 {
+		panic(fmt.Sprintf("routing: groups %d and %d not connected", gs, gd))
+	}
+	maxDist := 0
+	if c.opts.Gateway == GatewaySpread {
+		maxDist = 1
+	}
+	best := 3
+	var cand []topology.Gateway
+	for _, gw := range gws {
+		d := c.topo.LocalDistance(cur, gw.Router)
+		switch {
+		case d <= maxDist:
+			if best > maxDist {
+				best = maxDist
+				cand = cand[:0]
+			}
+			cand = append(cand, gw)
+		case d < best:
+			best, cand = d, append(cand[:0], gw)
+		case d == best && best > maxDist:
+			cand = append(cand, gw)
+		}
+	}
+	c.nearestGW[idx] = cand
+	return cand
+}
+
+func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
+	var st segmentState
+	hops, _ := c.appendMinimal(nil, rs, rd, &st)
+	return Path{Hops: hops}
+}
+
+// valiantPath routes minimally to a random intermediate router, then
+// minimally to the destination, bumping the VC class at the intermediate.
+func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
+	mid := topology.RouterID(c.rng.Intn(c.topo.NumRouters()))
+	if mid == rs || mid == rd {
+		return c.minimalPath(rs, rd)
+	}
+	var st segmentState
+	hops, cur := c.appendMinimal(nil, rs, mid, &st)
+	st.midsPassed++
+	hops, _ = c.appendMinimal(hops, cur, rd, &st)
+	return Path{Hops: hops}
+}
+
+// adaptivePath implements the UGAL-style choice described in the paper:
+// up to two minimal and two non-minimal candidates, scored by source-router
+// backlog toward the candidate's first hop times the candidate's length.
+func (c *Chooser) adaptivePath(rs, rd topology.RouterID) Path {
+	minimals := []Path{c.minimalPath(rs, rd)}
+	if c.topo.GroupOfRouter(rs) != c.topo.GroupOfRouter(rd) {
+		// A second minimal candidate only exists when gateway choice varies.
+		minimals = append(minimals, c.minimalPath(rs, rd))
+	}
+	bestMin, minScore := pickBest(c, minimals)
+
+	nonMin := c.opts.valiantCandidates()
+	valiants := make([]Path, 0, nonMin)
+	for i := 0; i < nonMin; i++ {
+		valiants = append(valiants, c.valiantPath(rs, rd))
+	}
+	bestNon, nonScore := pickBest(c, valiants)
+
+	// Misroute only when the non-minimal candidate wins by more than the
+	// minimal-preference bias, as Aries adaptive routing does.
+	if nonScore+c.opts.minimalBias() < minScore {
+		return bestNon
+	}
+	return bestMin
+}
+
+func pickBest(c *Chooser, paths []Path) (Path, int64) {
+	best := 0
+	bestScore := c.score(paths[0])
+	for i, p := range paths[1:] {
+		if s := c.score(p); s < bestScore {
+			best, bestScore = i+1, s
+		}
+	}
+	return paths[best], bestScore
+}
+
+// score is backlog-at-first-hop x hop count; an empty path scores zero.
+func (c *Chooser) score(p Path) int64 {
+	if len(p.Hops) == 0 {
+		return 0
+	}
+	first := p.Hops[0]
+	backlog := c.cong.OutputBacklog(first.From, first.To)
+	// +1 keeps hop count significant on an idle network so that shorter
+	// candidates win even at zero backlog.
+	return (backlog + 1) * int64(len(p.Hops))
+}
+
+// Validate checks structural invariants of a path from rs to rd: hop
+// contiguity, physical link existence, VC-class monotonicity and bounds.
+// It is used by tests and by the fabric in debug builds.
+func Validate(topo *topology.Topology, rs, rd topology.RouterID, p Path) error {
+	cur := rs
+	lastLocal, lastGlobal := -1, -1
+	for i, h := range p.Hops {
+		if h.From != cur {
+			return fmt.Errorf("hop %d: from %d, expected %d", i, h.From, cur)
+		}
+		switch h.Kind {
+		case Local:
+			if !topo.LocalConnected(h.From, h.To) {
+				return fmt.Errorf("hop %d: no local link %d->%d", i, h.From, h.To)
+			}
+			if int(h.VC) < lastLocal {
+				return fmt.Errorf("hop %d: local VC class decreased %d->%d", i, lastLocal, h.VC)
+			}
+			if h.VC >= NumLocalVC {
+				return fmt.Errorf("hop %d: local VC class %d out of range", i, h.VC)
+			}
+			lastLocal = int(h.VC)
+		case Global:
+			ok := false
+			for port := 0; port < topo.Config().GlobalPortsPerRouter; port++ {
+				if peer, _, wired := topo.GlobalPeer(h.From, port); wired && peer == h.To {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("hop %d: no global link %d->%d", i, h.From, h.To)
+			}
+			if int(h.VC) != lastGlobal+1 {
+				return fmt.Errorf("hop %d: global VC class %d, want %d", i, h.VC, lastGlobal+1)
+			}
+			if h.VC >= NumGlobalVC {
+				return fmt.Errorf("hop %d: global VC class %d out of range", i, h.VC)
+			}
+			lastGlobal = int(h.VC)
+		default:
+			return fmt.Errorf("hop %d: bad kind %v", i, h.Kind)
+		}
+		cur = h.To
+	}
+	if cur != rd {
+		return fmt.Errorf("path ends at %d, want %d", cur, rd)
+	}
+	return nil
+}

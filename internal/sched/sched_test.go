@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+func cfg(backfill bool) Config {
+	return Config{
+		Topology: topology.Mini(), // 64 nodes
+		Params:   network.DefaultParams(),
+		Routing:  routing.Adaptive,
+		Seed:     1,
+		Backfill: backfill,
+	}
+}
+
+func job(t *testing.T, name string, ranks int, bytes int64, arrival des.Time) JobRequest {
+	t.Helper()
+	tr, err := trace.CR(trace.CRConfig{Ranks: ranks, MessageBytes: bytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobRequest{
+		Name: name, Trace: tr,
+		Placement: placement.Contiguous,
+		Arrival:   arrival,
+	}
+}
+
+func TestSingleJobRunsImmediately(t *testing.T) {
+	res, err := Run(cfg(false), []JobRequest{job(t, "a", 16, 32*trace.KB, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.Wait() != 0 {
+		t.Fatalf("idle machine queued the job for %v", j.Wait())
+	}
+	if j.Finish <= j.Start {
+		t.Fatalf("finish %v not after start %v", j.Finish, j.Start)
+	}
+	if res.Makespan < j.Finish {
+		t.Fatalf("makespan %v before job finish %v", res.Makespan, j.Finish)
+	}
+}
+
+func TestFCFSQueuesWhenFull(t *testing.T) {
+	// Two 40-rank jobs on a 64-node machine: the second must wait for the
+	// first to release its nodes.
+	res, err := Run(cfg(false), []JobRequest{
+		job(t, "first", 40, 64*trace.KB, 0),
+		job(t, "second", 40, 64*trace.KB, des.Microsecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := res.Jobs[0], res.Jobs[1]
+	if second.Start < first.Finish {
+		t.Fatalf("second started at %v before first finished at %v", second.Start, first.Finish)
+	}
+	if second.Wait() <= 0 {
+		t.Fatal("second job recorded no queue wait")
+	}
+}
+
+func TestFCFSHeadBlocksWithoutBackfill(t *testing.T) {
+	// big(40) running; huge(50) queued and blocking; tiny(8) behind it.
+	// Without backfill, tiny waits for huge even though it would fit.
+	jobs := []JobRequest{
+		job(t, "big", 40, 128*trace.KB, 0),
+		job(t, "huge", 50, 16*trace.KB, des.Microsecond),
+		job(t, "tiny", 8, 16*trace.KB, 2*des.Microsecond),
+	}
+	strict, err := Run(cfg(false), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Jobs[2].Start < strict.Jobs[1].Start {
+		t.Fatal("strict FCFS let tiny overtake huge")
+	}
+	if strict.Jobs[2].Backfilled {
+		t.Fatal("strict FCFS marked a job backfilled")
+	}
+}
+
+func TestBackfillLetsSmallJobJump(t *testing.T) {
+	jobs := []JobRequest{
+		job(t, "big", 40, 128*trace.KB, 0),
+		job(t, "huge", 50, 16*trace.KB, des.Microsecond),
+		job(t, "tiny", 8, 16*trace.KB, 2*des.Microsecond),
+	}
+	bf, err := Run(cfg(true), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Jobs[2].Start >= bf.Jobs[1].Start {
+		t.Fatal("backfill did not let tiny start before huge")
+	}
+	if !bf.Jobs[2].Backfilled {
+		t.Fatal("backfilled job not marked")
+	}
+	// Backfill must not hurt overall makespan here.
+	strict, err := Run(cfg(false), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Makespan > strict.Makespan {
+		t.Fatalf("backfill makespan %v worse than strict %v", bf.Makespan, strict.Makespan)
+	}
+}
+
+func TestNodesReleasedAndReused(t *testing.T) {
+	// Four sequential full-machine jobs: each must reuse all 64 nodes.
+	var jobs []JobRequest
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, job(t, "j", 64, 16*trace.KB, 0))
+	}
+	res, err := Run(cfg(false), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if res.Jobs[i].Start < res.Jobs[i-1].Finish {
+			t.Fatalf("job %d started before job %d released the machine", i, i-1)
+		}
+	}
+}
+
+func TestConcurrentJobsInterfere(t *testing.T) {
+	// Two 16-rank jobs with random placement sharing the machine finish
+	// slower (per-job comm time) than one alone.
+	mk := func(n int) []JobRequest {
+		var jobs []JobRequest
+		for i := 0; i < n; i++ {
+			j := job(t, "j", 16, 128*trace.KB, 0)
+			j.Placement = placement.RandomNode
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	solo, err := Run(cfg(false), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := Run(cfg(false), mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.Jobs[0].MaxCommTime() <= solo.Jobs[0].MaxCommTime() {
+		t.Fatalf("sharing did not slow the job: solo %v, shared %v",
+			solo.Jobs[0].MaxCommTime(), duo.Jobs[0].MaxCommTime())
+	}
+}
+
+func TestSchedulerRejectsBadInput(t *testing.T) {
+	if _, err := Run(cfg(false), nil); err == nil {
+		t.Error("empty submission accepted")
+	}
+	if _, err := Run(cfg(false), []JobRequest{{Name: "x"}}); err == nil {
+		t.Error("job without trace accepted")
+	}
+	if _, err := Run(cfg(false), []JobRequest{job(t, "too-big", 100, 1024, 0)}); err == nil {
+		t.Error("job larger than machine accepted")
+	}
+	bad := job(t, "neg", 8, 1024, 0)
+	bad.Arrival = -5
+	if _, err := Run(cfg(false), []JobRequest{bad}); err == nil {
+		t.Error("negative arrival accepted")
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	jobs := func() []JobRequest {
+		return []JobRequest{
+			job(t, "a", 30, 64*trace.KB, 0),
+			job(t, "b", 40, 32*trace.KB, 5*des.Microsecond),
+			job(t, "c", 10, 16*trace.KB, 10*des.Microsecond),
+		}
+	}
+	x, err := Run(cfg(true), jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Run(cfg(true), jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Makespan != y.Makespan || x.Events != y.Events {
+		t.Fatalf("nondeterministic schedule: (%v,%d) vs (%v,%d)", x.Makespan, x.Events, y.Makespan, y.Events)
+	}
+	if x.MeanWait() != y.MeanWait() {
+		t.Fatal("mean wait differs across identical runs")
+	}
+}

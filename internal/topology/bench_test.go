@@ -1,0 +1,20 @@
+package topology
+
+import "testing"
+
+func BenchmarkTopologyBuildTheta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Theta()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalRouterHops(b *testing.B) {
+	topo := MustNew(Theta())
+	n := topo.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.MinimalRouterHops(NodeID(i%n), NodeID((i*7919)%n))
+	}
+}

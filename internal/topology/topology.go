@@ -1,0 +1,321 @@
+// Package topology models the Cray XC40 dragonfly interconnect of the Theta
+// system studied in the paper: groups of Aries routers arranged in a
+// rows × cols grid, row and column all-to-all local links, global links
+// between groups, and a fixed number of compute nodes per router. Each grid
+// row of routers forms a chassis and a configurable number of chassis form a
+// cabinet (three on Theta), which is what the random-cabinet and
+// random-chassis placement policies select over.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RouterID identifies a router; the numbering is group-major, then row-major
+// within the group grid.
+type RouterID int32
+
+// NodeID identifies a compute node; nodes are numbered consecutively per
+// router in router order, so contiguous node ranges correspond to physically
+// adjacent hardware.
+type NodeID int32
+
+// Coord locates a router inside the machine.
+type Coord struct {
+	Group int
+	Row   int
+	Col   int
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("g%d/r%d/c%d", c.Group, c.Row, c.Col)
+}
+
+// Config describes a dragonfly machine. The zero value is invalid; use
+// Theta() for the paper's system or fill the fields for a custom machine.
+type Config struct {
+	Groups               int // number of dragonfly groups
+	Rows                 int // router grid rows per group (chassis per group)
+	Cols                 int // router grid columns per group (routers per chassis)
+	NodesPerRouter       int // compute nodes attached to each router
+	GlobalPortsPerRouter int // global (inter-group) link ports per router
+	ChassisPerCabinet    int // chassis grouped into one cabinet (Theta: 3)
+}
+
+// Theta returns the configuration of the Theta system as studied in the
+// paper (Sec. II): 9 groups, 96 Aries routers per group in a 6 × 16 grid,
+// 4 nodes per router, and enough global ports that every group pair is
+// joined by many parallel links (10 ports/router → 120 links per pair).
+func Theta() Config {
+	return Config{
+		Groups:               9,
+		Rows:                 6,
+		Cols:                 16,
+		NodesPerRouter:       4,
+		GlobalPortsPerRouter: 10,
+		ChassisPerCabinet:    3,
+	}
+}
+
+// Mini returns a small machine with the same structure as Theta (several
+// groups, non-trivial grid, parallel global links) that keeps unit tests and
+// benchmarks fast. 4 groups × (2×4) routers × 2 nodes = 64 nodes.
+func Mini() Config {
+	return Config{
+		Groups:               4,
+		Rows:                 2,
+		Cols:                 4,
+		NodesPerRouter:       2,
+		GlobalPortsPerRouter: 3,
+		ChassisPerCabinet:    1,
+	}
+}
+
+// Validate reports whether the configuration describes a buildable machine.
+func (c Config) Validate() error {
+	switch {
+	case c.Groups < 1:
+		return errors.New("topology: Groups must be >= 1")
+	case c.Rows < 1 || c.Cols < 1:
+		return errors.New("topology: Rows and Cols must be >= 1")
+	case c.NodesPerRouter < 1:
+		return errors.New("topology: NodesPerRouter must be >= 1")
+	case c.ChassisPerCabinet < 1:
+		return errors.New("topology: ChassisPerCabinet must be >= 1")
+	case c.Groups > 1 && c.GlobalPortsPerRouter < 1:
+		return errors.New("topology: multi-group machine needs GlobalPortsPerRouter >= 1")
+	case c.GlobalPortsPerRouter < 0:
+		return errors.New("topology: GlobalPortsPerRouter must be >= 0")
+	}
+	return nil
+}
+
+// RoutersPerGroup returns the router count of one group.
+func (c Config) RoutersPerGroup() int { return c.Rows * c.Cols }
+
+// Topology is an immutable, fully wired dragonfly machine.
+type Topology struct {
+	cfg Config
+
+	routersPerGroup int
+	numRouters      int
+	numNodes        int
+
+	// globalPeer[r*G+p] is the router on the other end of router r's global
+	// port p, or -1 if the port is unwired (non-divisible configurations).
+	globalPeer []RouterID
+	// globalPeerPort[r*G+p] is the peer's port index for the same link.
+	globalPeerPort []int32
+	// gateways[a][b] lists, for source group a and destination group b, the
+	// (router, port) pairs in group a whose global link lands in group b.
+	gateways [][][]Gateway
+}
+
+// Gateway is a router (with the specific global port) that connects its
+// group to some destination group.
+type Gateway struct {
+	Router RouterID
+	Port   int
+}
+
+// New builds and wires a machine.
+func New(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{
+		cfg:             cfg,
+		routersPerGroup: cfg.RoutersPerGroup(),
+	}
+	t.numRouters = cfg.Groups * t.routersPerGroup
+	t.numNodes = t.numRouters * cfg.NodesPerRouter
+	t.wireGlobal()
+	return t, nil
+}
+
+// MustNew is New for known-good configurations (presets, tests).
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the machine's configuration.
+func (t *Topology) Config() Config { return t.cfg }
+
+// NumGroups returns the group count.
+func (t *Topology) NumGroups() int { return t.cfg.Groups }
+
+// NumRouters returns the machine-wide router count.
+func (t *Topology) NumRouters() int { return t.numRouters }
+
+// NumNodes returns the machine-wide compute-node count.
+func (t *Topology) NumNodes() int { return t.numNodes }
+
+// RoutersPerGroup returns the per-group router count.
+func (t *Topology) RoutersPerGroup() int { return t.routersPerGroup }
+
+// RouterAt returns the router at a coordinate.
+func (t *Topology) RouterAt(group, row, col int) RouterID {
+	return RouterID((group*t.cfg.Rows+row)*t.cfg.Cols + col)
+}
+
+// RouterCoord returns the coordinate of a router.
+func (t *Topology) RouterCoord(r RouterID) Coord {
+	col := int(r) % t.cfg.Cols
+	rest := int(r) / t.cfg.Cols
+	row := rest % t.cfg.Rows
+	return Coord{Group: rest / t.cfg.Rows, Row: row, Col: col}
+}
+
+// GroupOfRouter returns the group containing a router.
+func (t *Topology) GroupOfRouter(r RouterID) int {
+	return int(r) / t.routersPerGroup
+}
+
+// RouterOfNode returns the router a node attaches to.
+func (t *Topology) RouterOfNode(n NodeID) RouterID {
+	return RouterID(int(n) / t.cfg.NodesPerRouter)
+}
+
+// NodeSlot returns the node's terminal-port slot on its router.
+func (t *Topology) NodeSlot(n NodeID) int {
+	return int(n) % t.cfg.NodesPerRouter
+}
+
+// NodeAt returns the node in a given slot of a router.
+func (t *Topology) NodeAt(r RouterID, slot int) NodeID {
+	return NodeID(int(r)*t.cfg.NodesPerRouter + slot)
+}
+
+// GroupOfNode returns the group containing a node.
+func (t *Topology) GroupOfNode(n NodeID) int {
+	return t.GroupOfRouter(t.RouterOfNode(n))
+}
+
+// NodesOfRouter returns the nodes attached to a router, in slot order.
+func (t *Topology) NodesOfRouter(r RouterID) []NodeID {
+	out := make([]NodeID, t.cfg.NodesPerRouter)
+	for i := range out {
+		out[i] = t.NodeAt(r, i)
+	}
+	return out
+}
+
+// --- chassis / cabinet structure -----------------------------------------
+
+// ChassisCount returns the machine-wide chassis count (one chassis per grid
+// row per group, as on Theta).
+func (t *Topology) ChassisCount() int { return t.cfg.Groups * t.cfg.Rows }
+
+// ChassisOfRouter returns the chassis index of a router.
+func (t *Topology) ChassisOfRouter(r RouterID) int {
+	c := t.RouterCoord(r)
+	return c.Group*t.cfg.Rows + c.Row
+}
+
+// RoutersInChassis returns the routers of one chassis in column order.
+func (t *Topology) RoutersInChassis(chassis int) []RouterID {
+	group := chassis / t.cfg.Rows
+	row := chassis % t.cfg.Rows
+	out := make([]RouterID, t.cfg.Cols)
+	for col := range out {
+		out[col] = t.RouterAt(group, row, col)
+	}
+	return out
+}
+
+// CabinetsPerGroup returns how many cabinets one group spans; a trailing
+// partial cabinet counts as one.
+func (t *Topology) CabinetsPerGroup() int {
+	return (t.cfg.Rows + t.cfg.ChassisPerCabinet - 1) / t.cfg.ChassisPerCabinet
+}
+
+// CabinetCount returns the machine-wide cabinet count.
+func (t *Topology) CabinetCount() int { return t.cfg.Groups * t.CabinetsPerGroup() }
+
+// CabinetOfRouter returns the cabinet index of a router.
+func (t *Topology) CabinetOfRouter(r RouterID) int {
+	c := t.RouterCoord(r)
+	return c.Group*t.CabinetsPerGroup() + c.Row/t.cfg.ChassisPerCabinet
+}
+
+// RoutersInCabinet returns the routers of one cabinet in row-major order.
+func (t *Topology) RoutersInCabinet(cabinet int) []RouterID {
+	perGroup := t.CabinetsPerGroup()
+	group := cabinet / perGroup
+	firstRow := (cabinet % perGroup) * t.cfg.ChassisPerCabinet
+	lastRow := firstRow + t.cfg.ChassisPerCabinet
+	if lastRow > t.cfg.Rows {
+		lastRow = t.cfg.Rows
+	}
+	var out []RouterID
+	for row := firstRow; row < lastRow; row++ {
+		for col := 0; col < t.cfg.Cols; col++ {
+			out = append(out, t.RouterAt(group, row, col))
+		}
+	}
+	return out
+}
+
+// --- local connectivity ----------------------------------------------------
+
+// SameRow reports whether two routers share a group grid row.
+func (t *Topology) SameRow(a, b RouterID) bool {
+	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
+	return ca.Group == cb.Group && ca.Row == cb.Row
+}
+
+// SameCol reports whether two routers share a group grid column.
+func (t *Topology) SameCol(a, b RouterID) bool {
+	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
+	return ca.Group == cb.Group && ca.Col == cb.Col
+}
+
+// LocalConnected reports whether a and b are joined by a local link
+// (same group and same row or same column, a != b).
+func (t *Topology) LocalConnected(a, b RouterID) bool {
+	if a == b {
+		return false
+	}
+	return t.SameRow(a, b) || t.SameCol(a, b)
+}
+
+// LocalNeighbors returns the routers joined to r by local links: the rest of
+// its row, then the rest of its column.
+func (t *Topology) LocalNeighbors(r RouterID) []RouterID {
+	c := t.RouterCoord(r)
+	out := make([]RouterID, 0, t.cfg.Cols-1+t.cfg.Rows-1)
+	for col := 0; col < t.cfg.Cols; col++ {
+		if col != c.Col {
+			out = append(out, t.RouterAt(c.Group, c.Row, col))
+		}
+	}
+	for row := 0; row < t.cfg.Rows; row++ {
+		if row != c.Row {
+			out = append(out, t.RouterAt(c.Group, row, c.Col))
+		}
+	}
+	return out
+}
+
+// LocalDistance returns the intra-group hop distance between two routers of
+// the same group: 0 (same router), 1 (same row or column) or 2.
+// It panics if the routers are in different groups.
+func (t *Topology) LocalDistance(a, b RouterID) int {
+	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
+	if ca.Group != cb.Group {
+		panic(fmt.Sprintf("topology: LocalDistance across groups: %v vs %v", ca, cb))
+	}
+	switch {
+	case a == b:
+		return 0
+	case ca.Row == cb.Row || ca.Col == cb.Col:
+		return 1
+	default:
+		return 2
+	}
+}

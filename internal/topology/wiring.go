@@ -1,0 +1,170 @@
+package topology
+
+import "fmt"
+
+// Global-link wiring. Each router owns GlobalPortsPerRouter global ports.
+// Within a group, ports are enumerated linearly: port p of the i-th router
+// has index k = i*G + p. Port k is assigned to the (k mod (Groups-1))-th
+// other group, and is the (k div (Groups-1))-th parallel "slot" toward that
+// group. The link in slot s from group a to group b pairs with the link in
+// slot s from b to a, forming one bidirectional global link — the canonical
+// round-robin ("relative-group") arrangement used by dragonfly simulators.
+//
+// When Groups-1 does not divide routersPerGroup*G, opposite directions of a
+// pair can own different slot counts; the surplus ports stay unwired
+// (globalPeer = -1). All preset machines divide evenly.
+
+func (t *Topology) wireGlobal() {
+	g := t.cfg.GlobalPortsPerRouter
+	t.globalPeer = make([]RouterID, t.numRouters*g)
+	t.globalPeerPort = make([]int32, t.numRouters*g)
+	for i := range t.globalPeer {
+		t.globalPeer[i] = -1
+		t.globalPeerPort[i] = -1
+	}
+	t.gateways = make([][][]Gateway, t.cfg.Groups)
+	for a := range t.gateways {
+		t.gateways[a] = make([][]Gateway, t.cfg.Groups)
+	}
+	if t.cfg.Groups < 2 || g == 0 {
+		return
+	}
+
+	others := t.cfg.Groups - 1
+	portsPerGroup := t.routersPerGroup * g
+	// slotPort[a][b][s] = linear port index k in group a of slot s toward b.
+	slotPort := make([][][]int, t.cfg.Groups)
+	for a := 0; a < t.cfg.Groups; a++ {
+		slotPort[a] = make([][]int, t.cfg.Groups)
+		for k := 0; k < portsPerGroup; k++ {
+			ti := k % others // target index in a's skip list
+			b := ti
+			if b >= a {
+				b++
+			}
+			slotPort[a][b] = append(slotPort[a][b], k)
+		}
+	}
+	for a := 0; a < t.cfg.Groups; a++ {
+		for b := a + 1; b < t.cfg.Groups; b++ {
+			n := len(slotPort[a][b])
+			if m := len(slotPort[b][a]); m < n {
+				n = m
+			}
+			for s := 0; s < n; s++ {
+				ka, kb := slotPort[a][b][s], slotPort[b][a][s]
+				ra := RouterID(a*t.routersPerGroup + ka/g)
+				rb := RouterID(b*t.routersPerGroup + kb/g)
+				pa, pb := ka%g, kb%g
+				t.globalPeer[int(ra)*g+pa] = rb
+				t.globalPeerPort[int(ra)*g+pa] = int32(pb)
+				t.globalPeer[int(rb)*g+pb] = ra
+				t.globalPeerPort[int(rb)*g+pb] = int32(pa)
+				t.gateways[a][b] = append(t.gateways[a][b], Gateway{Router: ra, Port: pa})
+				t.gateways[b][a] = append(t.gateways[b][a], Gateway{Router: rb, Port: pb})
+			}
+		}
+	}
+}
+
+// GlobalPeer returns the router and port at the far end of router r's global
+// port p; ok is false when the port is unwired.
+func (t *Topology) GlobalPeer(r RouterID, p int) (peer RouterID, peerPort int, ok bool) {
+	g := t.cfg.GlobalPortsPerRouter
+	if p < 0 || p >= g {
+		panic(fmt.Sprintf("topology: global port %d out of range [0,%d)", p, g))
+	}
+	idx := int(r)*g + p
+	if t.globalPeer[idx] < 0 {
+		return 0, 0, false
+	}
+	return t.globalPeer[idx], int(t.globalPeerPort[idx]), true
+}
+
+// Gateways returns the (router, port) pairs in group src whose global links
+// land in group dst. The returned slice is shared; callers must not mutate it.
+func (t *Topology) Gateways(src, dst int) []Gateway {
+	return t.gateways[src][dst]
+}
+
+// GlobalConn is one bidirectional global link, reported once with A < B.
+type GlobalConn struct {
+	A     RouterID
+	APort int
+	B     RouterID
+	BPort int
+}
+
+// GlobalConns enumerates every wired global link exactly once.
+func (t *Topology) GlobalConns() []GlobalConn {
+	g := t.cfg.GlobalPortsPerRouter
+	var out []GlobalConn
+	for r := 0; r < t.numRouters; r++ {
+		for p := 0; p < g; p++ {
+			peer := t.globalPeer[r*g+p]
+			if peer < 0 || RouterID(r) > peer ||
+				(RouterID(r) == peer && p > int(t.globalPeerPort[r*g+p])) {
+				continue
+			}
+			out = append(out, GlobalConn{
+				A: RouterID(r), APort: p,
+				B: peer, BPort: int(t.globalPeerPort[r*g+p]),
+			})
+		}
+	}
+	return out
+}
+
+// MinimalRouterHops returns the number of routers a minimally routed packet
+// traverses from src node to dst node — the quantity behind the paper's
+// "average hops" metric (Fig. 4a). Delivery through a single shared router
+// counts 1; the worst minimal inter-group path (two local hops each side of
+// the global hop) counts 6.
+func (t *Topology) MinimalRouterHops(src, dst NodeID) int {
+	rs, rd := t.RouterOfNode(src), t.RouterOfNode(dst)
+	gs, gd := t.GroupOfRouter(rs), t.GroupOfRouter(rd)
+	if gs == gd {
+		return 1 + t.LocalDistance(rs, rd)
+	}
+	best := -1
+	for _, gw := range t.Gateways(gs, gd) {
+		peer, _, ok := t.GlobalPeer(gw.Router, gw.Port)
+		if !ok {
+			continue
+		}
+		h := 1 + t.LocalDistance(rs, gw.Router) + 1 + t.LocalDistance(peer, rd)
+		if best < 0 || h < best {
+			best = h
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("topology: groups %d and %d are not connected", gs, gd))
+	}
+	return best
+}
+
+// Describe returns a human-readable inventory of the machine — the textual
+// equivalent of the paper's Figure 1 system diagram.
+func (t *Topology) Describe() string {
+	c := t.cfg
+	localPerRouter := (c.Cols - 1) + (c.Rows - 1)
+	wired := len(t.GlobalConns())
+	return fmt.Sprintf(
+		"dragonfly: %d groups x (%dx%d routers) x %d nodes = %d routers, %d nodes\n"+
+			"  chassis: %d (one per grid row), cabinets: %d (%d chassis each)\n"+
+			"  local links/router: %d (row all-to-all + column all-to-all)\n"+
+			"  global ports/router: %d; bidirectional global links: %d (%d per group pair)\n",
+		c.Groups, c.Rows, c.Cols, c.NodesPerRouter, t.numRouters, t.numNodes,
+		t.ChassisCount(), t.CabinetCount(), c.ChassisPerCabinet,
+		localPerRouter,
+		c.GlobalPortsPerRouter, wired, perPairOrZero(wired, c.Groups),
+	)
+}
+
+func perPairOrZero(wired, groups int) int {
+	pairs := groups * (groups - 1) / 2
+	if pairs == 0 {
+		return 0
+	}
+	return wired / pairs
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+)
+
+// KB mirrors the paper's use of 1 KB = 1024 bytes for message sizes.
+const KB = 1024
+
+// CRConfig parameterizes the crystal router generator. The crystal router
+// kernel of Nek5000 performs a scalable multistage many-to-many exchange:
+// stage k pairs rank i with rank i XOR 2^k, so early stages exchange within
+// small neighborhoods of ranks — exactly the banded power-of-two-offset
+// communication matrix of Fig. 2(a) — with a roughly constant message load
+// (Fig. 2(d)).
+type CRConfig struct {
+	Ranks        int
+	MessageBytes int64 // per-stage transfer size (paper: ~190 KB)
+}
+
+// DefaultCR is the paper's 1,000-node crystal router miniapp.
+func DefaultCR() CRConfig {
+	return CRConfig{Ranks: 1000, MessageBytes: 190 * KB}
+}
+
+// CR generates the crystal router trace.
+func CR(cfg CRConfig) (*Trace, error) {
+	if cfg.Ranks < 2 || cfg.MessageBytes < 1 {
+		return nil, fmt.Errorf("trace: bad CR config %+v", cfg)
+	}
+	b := newBuilder(cfg.Ranks)
+	stage := int32(0)
+	for bit := 1; bit < cfg.Ranks; bit <<= 1 {
+		for i := 0; i < cfg.Ranks; i++ {
+			j := i ^ bit
+			if j < cfg.Ranks && i < j {
+				// Both directions of the pairwise stage exchange.
+				b.exchange(i, j, cfg.MessageBytes, stage)
+				b.exchange(j, i, cfg.MessageBytes, stage)
+			}
+		}
+		b.fence()
+		stage++
+	}
+	return b.build("CR"), nil
+}
+
+// FBConfig parameterizes the fill boundary generator. The miniapp fills
+// periodic domain boundaries and ghost cells of a 3-D block decomposition:
+// every rank exchanges with its six face neighbors (periodic), plus a light
+// many-to-many component across the rank set (Fig. 2(b)); per-message sizes
+// fluctuate strongly between MinBytes and MaxBytes (Fig. 2(e)).
+type FBConfig struct {
+	X, Y, Z    int   // decomposition; ranks = X*Y*Z
+	Iterations int   // ghost-exchange rounds
+	MinBytes   int64 // paper: 100 KB
+	MaxBytes   int64 // paper: 2560 KB
+	// FarPartners is the number of random distant partners per rank per
+	// iteration providing the many-to-many component; FarFraction scales
+	// their message size relative to the face-exchange draw.
+	FarPartners int
+	FarFraction float64
+	Seed        int64
+}
+
+// DefaultFB is the paper's 1,000-node fill boundary miniapp. The paper does
+// not state how many ghost-exchange rounds its trace covers; two rounds
+// already carry ~9 GB — an order of magnitude more traffic than CR, as in
+// the paper — while keeping simulations tractable.
+func DefaultFB() FBConfig {
+	return FBConfig{
+		X: 10, Y: 10, Z: 10,
+		Iterations:  2,
+		MinBytes:    100 * KB,
+		MaxBytes:    2560 * KB,
+		FarPartners: 2,
+		FarFraction: 0.1,
+		Seed:        1,
+	}
+}
+
+// FB generates the fill boundary trace.
+func FB(cfg FBConfig) (*Trace, error) {
+	n := cfg.X * cfg.Y * cfg.Z
+	switch {
+	case cfg.X < 1 || cfg.Y < 1 || cfg.Z < 1 || n < 2:
+		return nil, fmt.Errorf("trace: bad FB decomposition %dx%dx%d", cfg.X, cfg.Y, cfg.Z)
+	case cfg.Iterations < 1:
+		return nil, fmt.Errorf("trace: FB needs >= 1 iteration")
+	case cfg.MinBytes < 1 || cfg.MaxBytes < cfg.MinBytes:
+		return nil, fmt.Errorf("trace: bad FB size range [%d,%d]", cfg.MinBytes, cfg.MaxBytes)
+	case cfg.FarPartners < 0 || cfg.FarFraction < 0:
+		return nil, fmt.Errorf("trace: bad FB many-to-many settings")
+	}
+	rng := des.NewRNG(cfg.Seed, "trace/fb")
+	g := grid3{cfg.X, cfg.Y, cfg.Z}
+	b := newBuilder(n)
+	tag := int32(0)
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := 0; i < n; i++ {
+			for _, j := range g.faceNeighbors(i, true) {
+				bytes := int64(rng.LogUniform(float64(cfg.MinBytes), float64(cfg.MaxBytes)))
+				b.exchange(i, j, bytes, tag)
+			}
+			for p := 0; p < cfg.FarPartners; p++ {
+				j := rng.Intn(n)
+				if j == i {
+					j = (j + 1) % n
+				}
+				bytes := int64(rng.LogUniform(float64(cfg.MinBytes), float64(cfg.MaxBytes)) * cfg.FarFraction)
+				if bytes < 1 {
+					bytes = 1
+				}
+				b.exchange(i, j, bytes, tag)
+			}
+		}
+		b.fence()
+		tag++
+	}
+	return b.build("FB"), nil
+}
+
+// AMGConfig parameterizes the algebraic multigrid generator (BoomerAMG
+// derivative). Each V-cycle sweeps down and back up the level hierarchy;
+// every level exchanges with up to six face neighbors (non-periodic, so
+// boundary ranks have fewer — "depending on rank boundaries"), with the
+// per-rank load halving per level from PeakBytes (Fig. 2(c)). The Cycles
+// solve phases appear as the three short-duration surges of Fig. 2(f).
+type AMGConfig struct {
+	X, Y, Z int // decomposition; ranks = X*Y*Z
+	Cycles  int // V-cycles (paper profile: 3 surges)
+	Levels  int // multigrid levels per half-sweep
+	// PeakBytes is the finest-level per-rank message load (paper: the load
+	// surges peak at 75 KB per rank); it is split across the up-to-six
+	// neighbor messages of the level.
+	PeakBytes int64
+}
+
+// DefaultAMG is the paper's 1,728-node AMG solver.
+func DefaultAMG() AMGConfig {
+	return AMGConfig{X: 12, Y: 12, Z: 12, Cycles: 3, Levels: 6, PeakBytes: 75 * KB}
+}
+
+// AMG generates the algebraic multigrid trace.
+func AMG(cfg AMGConfig) (*Trace, error) {
+	n := cfg.X * cfg.Y * cfg.Z
+	switch {
+	case cfg.X < 1 || cfg.Y < 1 || cfg.Z < 1 || n < 2:
+		return nil, fmt.Errorf("trace: bad AMG decomposition %dx%dx%d", cfg.X, cfg.Y, cfg.Z)
+	case cfg.Cycles < 1 || cfg.Levels < 1:
+		return nil, fmt.Errorf("trace: AMG needs >= 1 cycle and level")
+	case cfg.PeakBytes < 1:
+		return nil, fmt.Errorf("trace: bad AMG peak size %d", cfg.PeakBytes)
+	}
+	g := grid3{cfg.X, cfg.Y, cfg.Z}
+	b := newBuilder(n)
+	tag := int32(0)
+	level := func(l int) {
+		bytes := (cfg.PeakBytes >> uint(l)) / 6 // load split over face neighbors
+		if bytes < 1 {
+			bytes = 1
+		}
+		for i := 0; i < n; i++ {
+			for _, j := range g.faceNeighbors(i, false) {
+				b.exchange(i, j, bytes, tag)
+			}
+		}
+		b.fence()
+		tag++
+	}
+	for c := 0; c < cfg.Cycles; c++ {
+		for l := 0; l < cfg.Levels; l++ { // restriction sweep
+			level(l)
+		}
+		for l := cfg.Levels - 2; l >= 0; l-- { // prolongation sweep
+			level(l)
+		}
+	}
+	return b.build("AMG"), nil
+}
+
+// grid3 is a 3-D rank decomposition with x fastest.
+type grid3 struct{ x, y, z int }
+
+func (g grid3) rank(x, y, z int) int { return (z*g.y+y)*g.x + x }
+
+func (g grid3) coords(r int) (x, y, z int) {
+	x = r % g.x
+	r /= g.x
+	return x, r % g.y, r / g.y
+}
+
+// faceNeighbors returns the up-to-six face neighbors of a rank; periodic
+// wraps around the domain boundary, non-periodic truncates at it.
+func (g grid3) faceNeighbors(r int, periodic bool) []int {
+	x, y, z := g.coords(r)
+	dims := [3]int{g.x, g.y, g.z}
+	pos := [3]int{x, y, z}
+	var out []int
+	for d := 0; d < 3; d++ {
+		if dims[d] < 2 {
+			continue
+		}
+		for _, dir := range [2]int{-1, 1} {
+			p := pos
+			p[d] += dir
+			if p[d] < 0 || p[d] >= dims[d] {
+				if !periodic || dims[d] < 3 {
+					continue // dims<3 would duplicate the wrap partner
+				}
+				p[d] = (p[d] + dims[d]) % dims[d]
+			}
+			nb := g.rank(p[0], p[1], p[2])
+			if nb != r {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}

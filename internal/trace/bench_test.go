@@ -1,0 +1,19 @@
+package trace
+
+import "testing"
+
+func BenchmarkGenerateCRPaperSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CR(DefaultCR()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateAMGPaperSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AMG(DefaultAMG()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

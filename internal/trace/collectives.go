@@ -1,0 +1,204 @@
+package trace
+
+import "fmt"
+
+// Builder exposes phase-structured trace construction, including standard
+// MPI collective algorithms, so users can assemble custom workloads (and
+// the synthetic benchmarks HPC network studies commonly use) without
+// hand-writing matched send/receive pairs.
+type Builder struct {
+	b    *builder
+	n    int
+	tag  int32
+	errs []error
+}
+
+// NewBuilder starts a trace over n ranks.
+func NewBuilder(n int) *Builder {
+	return &Builder{b: newBuilder(n), n: n}
+}
+
+// nextTag allocates a fresh tag so consecutive collectives never alias.
+func (B *Builder) nextTag() int32 {
+	B.tag++
+	return B.tag
+}
+
+// Exchange posts one matched transfer: a send from src to dst and the
+// corresponding receive.
+func (B *Builder) Exchange(src, dst int, bytes int64) *Builder {
+	if src < 0 || src >= B.n || dst < 0 || dst >= B.n || src == dst || bytes < 1 {
+		B.errs = append(B.errs, fmt.Errorf("trace: bad exchange %d->%d (%d bytes)", src, dst, bytes))
+		return B
+	}
+	B.b.exchange(src, dst, bytes, B.tag)
+	return B
+}
+
+// Fence ends the current phase on every rank (WaitAll).
+func (B *Builder) Fence() *Builder {
+	B.b.fence()
+	B.tag++
+	return B
+}
+
+// Barrier appends a dissemination barrier: ceil(log2 n) rounds in which
+// rank i signals rank (i + 2^k) mod n with a minimal message.
+func (B *Builder) Barrier() *Builder {
+	tag := B.nextTag()
+	for k := 1; k < B.n; k <<= 1 {
+		for i := 0; i < B.n; i++ {
+			B.b.exchange(i, (i+k)%B.n, 1, tag)
+		}
+		B.b.fence()
+		tag = B.nextTag()
+	}
+	return B
+}
+
+// AllReduce appends a recursive-doubling allreduce of a bytes-sized vector.
+// Non-power-of-two rank counts fold the surplus ranks into the largest
+// power-of-two subcube before and after the exchange rounds, as MPICH does.
+func (B *Builder) AllReduce(bytes int64) *Builder {
+	if bytes < 1 {
+		B.errs = append(B.errs, fmt.Errorf("trace: allreduce of %d bytes", bytes))
+		return B
+	}
+	pow2 := 1
+	for pow2*2 <= B.n {
+		pow2 *= 2
+	}
+	rem := B.n - pow2
+	tag := B.nextTag()
+	// Fold: surplus ranks pow2..n-1 send their vector to i-pow2.
+	if rem > 0 {
+		for i := pow2; i < B.n; i++ {
+			B.b.exchange(i, i-pow2, bytes, tag)
+		}
+		B.b.fence()
+		tag = B.nextTag()
+	}
+	// Recursive doubling within the subcube.
+	for k := 1; k < pow2; k <<= 1 {
+		for i := 0; i < pow2; i++ {
+			j := i ^ k
+			if i < j {
+				B.b.exchange(i, j, bytes, tag)
+				B.b.exchange(j, i, bytes, tag)
+			}
+		}
+		B.b.fence()
+		tag = B.nextTag()
+	}
+	// Unfold: results return to the surplus ranks.
+	if rem > 0 {
+		for i := pow2; i < B.n; i++ {
+			B.b.exchange(i-pow2, i, bytes, tag)
+		}
+		B.b.fence()
+	}
+	return B
+}
+
+// AllToAll appends a pairwise-exchange all-to-all: n-1 rounds in which rank
+// i sends bytes to (i + round) mod n and receives from (i - round) mod n.
+func (B *Builder) AllToAll(bytes int64) *Builder {
+	if bytes < 1 {
+		B.errs = append(B.errs, fmt.Errorf("trace: alltoall of %d bytes", bytes))
+		return B
+	}
+	tag := B.nextTag()
+	for round := 1; round < B.n; round++ {
+		for i := 0; i < B.n; i++ {
+			B.b.exchange(i, (i+round)%B.n, bytes, tag)
+		}
+		B.b.fence()
+		tag = B.nextTag()
+	}
+	return B
+}
+
+// Broadcast appends a binomial-tree broadcast of bytes from root.
+func (B *Builder) Broadcast(root int, bytes int64) *Builder {
+	if root < 0 || root >= B.n || bytes < 1 {
+		B.errs = append(B.errs, fmt.Errorf("trace: bad broadcast root %d (%d bytes)", root, bytes))
+		return B
+	}
+	tag := B.nextTag()
+	// Work in root-relative rank space: vrank = (rank - root) mod n.
+	abs := func(vrank int) int { return (vrank + root) % B.n }
+	for k := 1; k < B.n; k <<= 1 {
+		for v := 0; v < k && v < B.n; v++ {
+			child := v + k
+			if child < B.n {
+				B.b.exchange(abs(v), abs(child), bytes, tag)
+			}
+		}
+		B.b.fence()
+		tag = B.nextTag()
+	}
+	return B
+}
+
+// Build finalizes the trace; it fails if any recorded step was invalid or
+// the result does not validate.
+func (B *Builder) Build(app string) (*Trace, error) {
+	if len(B.errs) > 0 {
+		return nil, B.errs[0]
+	}
+	// Ensure a trailing fence so every rank's op list is well-formed.
+	last := B.b.ranks
+	needFence := false
+	for _, ops := range last {
+		if len(ops) > 0 && ops[len(ops)-1].Kind != OpWaitAll {
+			needFence = true
+			break
+		}
+	}
+	if needFence {
+		B.b.fence()
+	}
+	t := B.b.build(app)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CollectiveMix describes the synthetic collective benchmark generator: a
+// repeated sequence of barrier / allreduce / all-to-all / broadcast phases,
+// the classic microbenchmark workload of interconnect studies.
+type CollectiveMix struct {
+	Ranks          int
+	Iterations     int
+	AllReduceBytes int64 // 0 disables
+	AllToAllBytes  int64 // 0 disables
+	BroadcastBytes int64 // 0 disables
+	Barrier        bool
+}
+
+// Collectives generates the benchmark trace for a mix.
+func Collectives(cfg CollectiveMix) (*Trace, error) {
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("trace: collectives need >= 2 ranks")
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("trace: collectives need >= 1 iteration")
+	}
+	B := NewBuilder(cfg.Ranks)
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Barrier {
+			B.Barrier()
+		}
+		if cfg.AllReduceBytes > 0 {
+			B.AllReduce(cfg.AllReduceBytes)
+		}
+		if cfg.AllToAllBytes > 0 {
+			B.AllToAll(cfg.AllToAllBytes)
+		}
+		if cfg.BroadcastBytes > 0 {
+			B.Broadcast(it%cfg.Ranks, cfg.BroadcastBytes)
+		}
+	}
+	return B.Build("COLL")
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierShape(t *testing.T) {
+	tr, err := NewBuilder(8).Barrier().Build("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dissemination barrier over 8 ranks: 3 rounds x 8 one-byte messages.
+	sends := 0
+	for _, ops := range tr.Ranks {
+		for _, op := range ops {
+			if op.Kind == OpISend {
+				sends++
+				if op.Bytes != 1 {
+					t.Fatalf("barrier message of %d bytes", op.Bytes)
+				}
+			}
+		}
+	}
+	if sends != 3*8 {
+		t.Fatalf("barrier sends = %d, want 24", sends)
+	}
+}
+
+func TestAllReducePowerOfTwo(t *testing.T) {
+	tr, err := NewBuilder(16).AllReduce(1024).Build("ar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log2(16)=4 rounds, each rank sends once per round.
+	sends := 0
+	for _, ops := range tr.Ranks {
+		for _, op := range ops {
+			if op.Kind == OpISend {
+				sends++
+			}
+		}
+	}
+	if sends != 4*16 {
+		t.Fatalf("allreduce sends = %d, want 64", sends)
+	}
+}
+
+func TestAllReduceNonPowerOfTwoFolds(t *testing.T) {
+	tr, err := NewBuilder(10).AllReduce(512).Build("ar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pow2 = 8, rem = 2: fold(2) + 3 rounds x 8 + unfold(2) = 28 sends.
+	sends := 0
+	for _, ops := range tr.Ranks {
+		for _, op := range ops {
+			if op.Kind == OpISend {
+				sends++
+			}
+		}
+	}
+	if sends != 2+3*8+2 {
+		t.Fatalf("allreduce(10) sends = %d, want 28", sends)
+	}
+}
+
+func TestAllToAllEveryPairOnce(t *testing.T) {
+	const n = 7
+	tr, err := NewBuilder(n).AllToAll(100).Build("a2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := map[[2]int32]int{}
+	for rank, ops := range tr.Ranks {
+		for _, op := range ops {
+			if op.Kind == OpISend {
+				pair[[2]int32{int32(rank), op.Peer}]++
+			}
+		}
+	}
+	if len(pair) != n*(n-1) {
+		t.Fatalf("alltoall covered %d pairs, want %d", len(pair), n*(n-1))
+	}
+	for p, c := range pair {
+		if c != 1 {
+			t.Fatalf("pair %v exchanged %d times", p, c)
+		}
+	}
+}
+
+func TestBroadcastReachesEveryRankOnce(t *testing.T) {
+	const n, root = 13, 5
+	tr, err := NewBuilder(n).Broadcast(root, 4096).Build("bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := map[int32]int{}
+	for rank, ops := range tr.Ranks {
+		for _, op := range ops {
+			if op.Kind == OpIRecv {
+				recvs[int32(rank)]++
+				_ = op
+			}
+		}
+	}
+	if len(recvs) != n-1 {
+		t.Fatalf("broadcast reached %d ranks, want %d", len(recvs), n-1)
+	}
+	if recvs[root] != 0 {
+		t.Fatal("root received its own broadcast")
+	}
+	for r, c := range recvs {
+		if c != 1 {
+			t.Fatalf("rank %d received %d copies", r, c)
+		}
+	}
+}
+
+func TestBuilderRejectsInvalidSteps(t *testing.T) {
+	if _, err := NewBuilder(4).Exchange(0, 0, 10).Build("x"); err == nil {
+		t.Error("self exchange accepted")
+	}
+	if _, err := NewBuilder(4).Exchange(0, 9, 10).Build("x"); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+	if _, err := NewBuilder(4).AllReduce(0).Build("x"); err == nil {
+		t.Error("zero-byte allreduce accepted")
+	}
+	if _, err := NewBuilder(4).Broadcast(7, 10).Build("x"); err == nil {
+		t.Error("bad broadcast root accepted")
+	}
+}
+
+func TestBuilderAutoFence(t *testing.T) {
+	tr, err := NewBuilder(2).Exchange(0, 1, 10).Exchange(1, 0, 10).Build("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, ops := range tr.Ranks {
+		if ops[len(ops)-1].Kind != OpWaitAll {
+			t.Fatalf("rank %d missing trailing fence", rank)
+		}
+	}
+}
+
+func TestCollectivesMix(t *testing.T) {
+	tr, err := Collectives(CollectiveMix{
+		Ranks: 12, Iterations: 2,
+		AllReduceBytes: 1024, AllToAllBytes: 256, BroadcastBytes: 4096,
+		Barrier: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "COLL" || tr.NumRanks() != 12 {
+		t.Fatalf("mix = %s/%d", tr.App, tr.NumRanks())
+	}
+	if _, err := Collectives(CollectiveMix{Ranks: 1, Iterations: 1}); err == nil {
+		t.Error("single-rank mix accepted")
+	}
+	if _, err := Collectives(CollectiveMix{Ranks: 4, Iterations: 0}); err == nil {
+		t.Error("zero-iteration mix accepted")
+	}
+}
+
+// Property: every collective over any rank count validates (matched pairs,
+// proper fencing) — the invariant the replay engine depends on.
+func TestCollectivesAlwaysValidate(t *testing.T) {
+	f := func(nRaw uint8, kind uint8) bool {
+		n := 2 + int(nRaw)%30
+		B := NewBuilder(n)
+		switch kind % 4 {
+		case 0:
+			B.Barrier()
+		case 1:
+			B.AllReduce(64)
+		case 2:
+			B.AllToAll(64)
+		case 3:
+			B.Broadcast(int(kind)%n, 64)
+		}
+		tr, err := B.Build("p")
+		return err == nil && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

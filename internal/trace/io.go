@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write serializes a trace in the library's binary format (gob).
+func Write(w io.Writer, t *Trace) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteFile writes a trace to a file.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := Write(bw, t); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from a file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+// Summary is the JSON-friendly digest of a trace used by cmd/dftrace.
+type Summary struct {
+	App            string    `json:"app"`
+	Ranks          int       `json:"ranks"`
+	Phases         int       `json:"phases"`
+	TotalSendBytes int64     `json:"total_send_bytes"`
+	AvgLoadPerRank float64   `json:"avg_load_per_rank_bytes"`
+	PhaseLoads     []float64 `json:"phase_loads_bytes_per_rank"`
+}
+
+// Summarize computes a trace's digest.
+func Summarize(t *Trace) Summary {
+	return Summary{
+		App:            t.App,
+		Ranks:          t.NumRanks(),
+		Phases:         t.NumPhases(),
+		TotalSendBytes: t.TotalSendBytes(),
+		AvgLoadPerRank: t.AvgLoadPerRank(),
+		PhaseLoads:     t.PhaseLoads(),
+	}
+}
+
+// WriteSummaryJSON writes the digest as indented JSON.
+func WriteSummaryJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Summarize(t))
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format — a line-oriented, DUMPI-flavored representation so
+// traces can be produced or inspected outside this library (the paper's
+// traces come from the DUMPI ASCII toolchain):
+//
+//	# comment
+//	trace <app-name> <num-ranks>
+//	rank <index>
+//	isend <peer> <bytes> <tag>
+//	irecv <peer> <bytes> <tag>
+//	waitall
+//
+// Every rank section must appear exactly once, in ascending order.
+
+// WriteText serializes a trace in the text format.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# dragonfly trace, DUMPI-flavored text format\n")
+	fmt.Fprintf(bw, "trace %s %d\n", sanitizeName(t.App), t.NumRanks())
+	for rank, ops := range t.Ranks {
+		fmt.Fprintf(bw, "rank %d\n", rank)
+		for _, op := range ops {
+			switch op.Kind {
+			case OpISend:
+				fmt.Fprintf(bw, "isend %d %d %d\n", op.Peer, op.Bytes, op.Tag)
+			case OpIRecv:
+				fmt.Fprintf(bw, "irecv %d %d %d\n", op.Peer, op.Bytes, op.Tag)
+			case OpWaitAll:
+				fmt.Fprintf(bw, "waitall\n")
+			default:
+				return fmt.Errorf("trace: cannot serialize op kind %v", op.Kind)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// ParseText reads a text-format trace and validates it.
+func ParseText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t *Trace
+	cur := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "trace":
+			if t != nil {
+				return nil, fmt.Errorf("trace: line %d: duplicate trace header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want 'trace <name> <ranks>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("trace: line %d: bad rank count %q", lineNo, fields[2])
+			}
+			t = &Trace{App: fields[1], Ranks: make([][]Op, n)}
+		case "rank":
+			if t == nil {
+				return nil, fmt.Errorf("trace: line %d: 'rank' before 'trace' header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'rank <index>'", lineNo)
+			}
+			i, err := strconv.Atoi(fields[1])
+			if err != nil || i != cur+1 || i >= t.NumRanks() {
+				return nil, fmt.Errorf("trace: line %d: rank %q out of order (expected %d of %d)",
+					lineNo, fields[1], cur+1, t.NumRanks())
+			}
+			cur = i
+		case "isend", "irecv":
+			if t == nil || cur < 0 {
+				return nil, fmt.Errorf("trace: line %d: op outside a rank section", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: want '%s <peer> <bytes> <tag>'", lineNo, fields[0])
+			}
+			peer, err1 := strconv.ParseInt(fields[1], 10, 32)
+			bytes, err2 := strconv.ParseInt(fields[2], 10, 64)
+			tag, err3 := strconv.ParseInt(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: line %d: malformed operands", lineNo)
+			}
+			kind := OpISend
+			if fields[0] == "irecv" {
+				kind = OpIRecv
+			}
+			t.Ranks[cur] = append(t.Ranks[cur], Op{Kind: kind, Peer: int32(peer), Bytes: bytes, Tag: int32(tag)})
+		case "waitall":
+			if t == nil || cur < 0 {
+				return nil, fmt.Errorf("trace: line %d: waitall outside a rank section", lineNo)
+			}
+			t.Ranks[cur] = append(t.Ranks[cur], Op{Kind: OpWaitAll})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if cur != t.NumRanks()-1 {
+		return nil, fmt.Errorf("trace: only %d of %d rank sections present", cur+1, t.NumRanks())
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripAllApps(t *testing.T) {
+	cr, _ := CR(CRConfig{Ranks: 16, MessageBytes: 1000})
+	fb, _ := FB(FBConfig{X: 2, Y: 2, Z: 2, Iterations: 2, MinBytes: 10, MaxBytes: 100, FarPartners: 1, FarFraction: 0.5, Seed: 1})
+	amg, _ := AMG(AMGConfig{X: 2, Y: 2, Z: 2, Cycles: 1, Levels: 2, PeakBytes: 600})
+	for _, orig := range []*Trace{cr, fb, amg} {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v\n", orig.App, err)
+		}
+		if got.App != orig.App || got.NumRanks() != orig.NumRanks() {
+			t.Fatalf("%s: header mismatch", orig.App)
+		}
+		if got.TotalSendBytes() != orig.TotalSendBytes() {
+			t.Fatalf("%s: bytes changed in round trip", orig.App)
+		}
+		for r := range orig.Ranks {
+			if len(got.Ranks[r]) != len(orig.Ranks[r]) {
+				t.Fatalf("%s rank %d: op count %d != %d", orig.App, r, len(got.Ranks[r]), len(orig.Ranks[r]))
+			}
+			for i := range orig.Ranks[r] {
+				if got.Ranks[r][i] != orig.Ranks[r][i] {
+					t.Fatalf("%s rank %d op %d differs", orig.App, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParseTextHandwritten(t *testing.T) {
+	src := `
+# a 2-rank exchange
+trace demo 2
+rank 0
+isend 1 100 0
+irecv 1 100 0
+waitall
+rank 1
+isend 0 100 0
+irecv 0 100 0
+waitall
+`
+	tr, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "demo" || tr.NumRanks() != 2 || tr.TotalSendBytes() != 200 {
+		t.Fatalf("parsed %+v", Summarize(tr))
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no header":       "rank 0\nwaitall\n",
+		"dup header":      "trace a 1\ntrace b 1\n",
+		"bad rank count":  "trace a zero\n",
+		"rank order":      "trace a 2\nrank 1\nwaitall\nrank 0\nwaitall\n",
+		"rank overflow":   "trace a 1\nrank 0\nwaitall\nrank 1\nwaitall\n",
+		"op outside rank": "trace a 1\nisend 0 1 0\n",
+		"short isend":     "trace a 2\nrank 0\nisend 1 5\n",
+		"bad operand":     "trace a 2\nrank 0\nisend one 5 0\n",
+		"unknown op":      "trace a 1\nrank 0\nbarrier\n",
+		"missing ranks":   "trace a 3\nrank 0\nwaitall\n",
+		"unmatched send":  "trace a 2\nrank 0\nisend 1 5 0\nwaitall\nrank 1\nwaitall\n",
+		"empty":           "",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteTextSanitizesAppName(t *testing.T) {
+	tr := &Trace{App: "my app", Ranks: [][]Op{{{Kind: OpWaitAll}}}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace my_app 1") {
+		t.Fatalf("header not sanitized: %s", buf.String())
+	}
+}

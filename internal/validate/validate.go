@@ -1,0 +1,184 @@
+// Package validate reproduces the methodology of the CODES/Theta validation
+// study the paper relies on (Sec. II, [14]): ping-pong latency tests and a
+// bisection-pairing bandwidth test. The original study compared simulation
+// against the physical machine and found <8% deviation; having no physical
+// Theta, this package compares the simulator against the analytic zero-load
+// model implied by its own configured bandwidths and latencies (DESIGN.md
+// substitution #3) and reports link-level bandwidth utilization under a
+// bisection load.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// PingSample is one ping measurement: a single-packet message between two
+// nodes, compared against the analytic store-and-forward model for the path
+// the packet actually took.
+type PingSample struct {
+	Src, Dst  topology.NodeID
+	Routers   int // routers traversed (the paper's hop metric)
+	Measured  des.Time
+	Predicted des.Time
+	RelError  float64
+}
+
+// PingPongResult aggregates a ping sweep.
+type PingPongResult struct {
+	Samples     []PingSample
+	MaxRelError float64
+}
+
+// PingPong sends one single-packet message between `pairs` random node
+// pairs on an idle machine under minimal routing and compares each measured
+// delivery time with the analytic zero-load prediction.
+func PingPong(topoCfg topology.Config, params network.Params, bytes, pairs int, seed int64) (*PingPongResult, error) {
+	if bytes < 1 || bytes > params.PacketBytes {
+		return nil, fmt.Errorf("validate: ping payload %d must be in [1, %d] (single packet)", bytes, params.PacketBytes)
+	}
+	if pairs < 1 {
+		return nil, fmt.Errorf("validate: need >= 1 pair")
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := des.NewRNG(seed, "validate/pingpong")
+	res := &PingPongResult{}
+	for i := 0; i < pairs; i++ {
+		src := topology.NodeID(rng.Intn(topo.NumNodes()))
+		dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+		if src == dst {
+			dst = topology.NodeID((int(dst) + 1) % topo.NumNodes())
+		}
+		sample, err := pingOnce(topo, params, src, dst, bytes, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res.Samples = append(res.Samples, *sample)
+		if sample.RelError > res.MaxRelError {
+			res.MaxRelError = sample.RelError
+		}
+	}
+	return res, nil
+}
+
+// pingOnce runs one message on a fresh idle fabric.
+func pingOnce(topo *topology.Topology, params network.Params, src, dst topology.NodeID, bytes int, seed int64) (*PingSample, error) {
+	eng := des.New()
+	fab, err := network.New(eng, topo, params, routing.Minimal, des.NewRNG(seed, "validate/fabric"))
+	if err != nil {
+		return nil, err
+	}
+	var deliveredAt des.Time = -1
+	fab.Send(src, dst, int64(bytes), nil, func(at des.Time) { deliveredAt = at })
+	eng.Run()
+	if deliveredAt < 0 {
+		return nil, fmt.Errorf("validate: ping %d->%d never delivered", src, dst)
+	}
+
+	// Reconstruct the path class counts from the fabric's own hop metric:
+	// routers traversed r and (by group membership) global hops g give
+	// local hops r-1-g on a minimal path.
+	avg, pkts := fab.AvgHops(dst)
+	if pkts != 1 {
+		return nil, fmt.Errorf("validate: expected 1 packet, saw %d", pkts)
+	}
+	routers := int(avg)
+	globals := 0
+	if topo.GroupOfNode(src) != topo.GroupOfNode(dst) {
+		globals = 1
+	}
+	locals := routers - 1 - globals
+	if locals < 0 {
+		return nil, fmt.Errorf("validate: inconsistent hop reconstruction (r=%d g=%d)", routers, globals)
+	}
+	predicted := analyticOneWay(params, bytes, locals, globals)
+	relErr := math.Abs(float64(deliveredAt-predicted)) / float64(predicted)
+	return &PingSample{
+		Src: src, Dst: dst, Routers: routers,
+		Measured: deliveredAt, Predicted: predicted, RelError: relErr,
+	}, nil
+}
+
+// analyticOneWay is the zero-load store-and-forward model of a single
+// packet: serialization plus wire latency per traversed channel —
+// injection, each router-to-router hop, and ejection.
+func analyticOneWay(p network.Params, bytes, locals, globals int) des.Time {
+	ser := func(bw float64) des.Time {
+		ns := float64(bytes) * 1e9 / bw
+		t := des.Time(ns)
+		if float64(t) < ns {
+			t++
+		}
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	total := 2 * (ser(p.TerminalBandwidth) + p.TerminalLatency) // inject + eject
+	total += des.Time(locals) * (ser(p.LocalBandwidth) + p.LocalLatency)
+	total += des.Time(globals) * (ser(p.GlobalBandwidth) + p.GlobalLatency)
+	return total
+}
+
+// BisectionResult reports the bisection-pairing bandwidth test.
+type BisectionResult struct {
+	Pairs        int
+	BytesPerPair int64
+	Makespan     des.Time
+	// AchievedBandwidth is aggregate delivered bytes per second.
+	AchievedBandwidth float64
+	// InjectionBound is the aggregate terminal-bandwidth ceiling.
+	InjectionBound float64
+	// Utilization is achieved / injection bound, in (0, 1].
+	Utilization float64
+}
+
+// Bisection pairs node i of the machine's first half with node i of the
+// second half (the CODES validation workload); every pair exchanges
+// `bytesPerPair` in both directions simultaneously, and the aggregate
+// delivered bandwidth is measured against the injection ceiling.
+func Bisection(topoCfg topology.Config, params network.Params, mech routing.Mechanism, bytesPerPair int64, seed int64) (*BisectionResult, error) {
+	if bytesPerPair < 1 {
+		return nil, fmt.Errorf("validate: bytesPerPair must be >= 1")
+	}
+	topo, err := topology.New(topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := des.New()
+	fab, err := network.New(eng, topo, params, mech, des.NewRNG(seed, "validate/bisect"))
+	if err != nil {
+		return nil, err
+	}
+	half := topo.NumNodes() / 2
+	delivered := 0
+	for i := 0; i < half; i++ {
+		a := topology.NodeID(i)
+		b := topology.NodeID(half + i)
+		fab.Send(a, b, bytesPerPair, nil, func(des.Time) { delivered++ })
+		fab.Send(b, a, bytesPerPair, nil, func(des.Time) { delivered++ })
+	}
+	makespan := eng.Run()
+	if delivered != 2*half {
+		return nil, fmt.Errorf("validate: delivered %d/%d bisection messages", delivered, 2*half)
+	}
+	total := float64(2*half) * float64(bytesPerPair)
+	achieved := total / (float64(makespan) / 1e9)
+	bound := float64(2*half) * params.TerminalBandwidth
+	return &BisectionResult{
+		Pairs:             half,
+		BytesPerPair:      bytesPerPair,
+		Makespan:          makespan,
+		AchievedBandwidth: achieved,
+		InjectionBound:    bound,
+		Utilization:       achieved / bound,
+	}, nil
+}

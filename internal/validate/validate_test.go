@@ -1,0 +1,105 @@
+package validate
+
+import (
+	"testing"
+
+	"dragonfly/internal/network"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+func TestPingPongMatchesAnalyticModel(t *testing.T) {
+	// The packet-level simulator must agree with its own zero-load
+	// store-and-forward model essentially exactly — far inside the <8%
+	// band the CODES validation study reported against real hardware.
+	res, err := PingPong(topology.Mini(), network.DefaultParams(), 1000, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 50 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	if res.MaxRelError > 0.001 {
+		t.Fatalf("max relative error %.6f exceeds 0.1%%", res.MaxRelError)
+	}
+	for _, s := range res.Samples {
+		if s.Routers < 1 || s.Routers > 6 {
+			t.Fatalf("sample %d->%d traversed %d routers", s.Src, s.Dst, s.Routers)
+		}
+		if s.Measured <= 0 || s.Predicted <= 0 {
+			t.Fatalf("sample %d->%d has nonpositive times", s.Src, s.Dst)
+		}
+	}
+}
+
+func TestPingPongThetaSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine validation skipped in -short mode")
+	}
+	res, err := PingPong(topology.Theta(), network.DefaultParams(), 4096, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelError > 0.001 {
+		t.Fatalf("Theta ping error %.6f exceeds 0.1%%", res.MaxRelError)
+	}
+}
+
+func TestPingPongRejectsMultiPacketPayload(t *testing.T) {
+	p := network.DefaultParams()
+	if _, err := PingPong(topology.Mini(), p, p.PacketBytes+1, 1, 1); err == nil {
+		t.Fatal("accepted multi-packet ping payload")
+	}
+	if _, err := PingPong(topology.Mini(), p, 100, 0, 1); err == nil {
+		t.Fatal("accepted zero pairs")
+	}
+}
+
+func TestBisectionSanity(t *testing.T) {
+	res, err := Bisection(topology.Mini(), network.DefaultParams(), routing.Minimal, 256*1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 32 {
+		t.Fatalf("pairs = %d, want 32 (half of 64 nodes)", res.Pairs)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %.3f outside (0,1]", res.Utilization)
+	}
+	// The pairing crosses groups for most pairs, so global links gate the
+	// run well below the injection ceiling, but the fabric must still move
+	// a nontrivial fraction.
+	if res.Utilization < 0.02 {
+		t.Fatalf("utilization %.3f implausibly low", res.Utilization)
+	}
+	if res.AchievedBandwidth > res.InjectionBound {
+		t.Fatalf("achieved %.3g exceeds the injection bound %.3g", res.AchievedBandwidth, res.InjectionBound)
+	}
+}
+
+func TestBisectionAdaptiveNotWorseAtScale(t *testing.T) {
+	// Adaptive routing exists to spread exactly this kind of load; it must
+	// not collapse relative to minimal routing.
+	min, err := Bisection(topology.Mini(), network.DefaultParams(), routing.Minimal, 128*1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := Bisection(topology.Mini(), network.DefaultParams(), routing.Adaptive, 128*1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.AchievedBandwidth < 0.5*min.AchievedBandwidth {
+		t.Fatalf("adaptive bisection %.3g collapsed vs minimal %.3g",
+			adp.AchievedBandwidth, min.AchievedBandwidth)
+	}
+}
+
+func TestBisectionRejectsBadInput(t *testing.T) {
+	if _, err := Bisection(topology.Mini(), network.DefaultParams(), routing.Minimal, 0, 1); err == nil {
+		t.Fatal("accepted zero payload")
+	}
+	bad := topology.Config{}
+	if _, err := Bisection(bad, network.DefaultParams(), routing.Minimal, 1024, 1); err == nil {
+		t.Fatal("accepted invalid topology")
+	}
+}

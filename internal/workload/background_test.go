@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+func TestPeakLoadMatchesTableII(t *testing.T) {
+	// Sec. IV-C / Table II: with the Theta machine, the background job
+	// occupies all nodes not assigned to the target application. The
+	// published peak loads decode exactly to 16 KiB uniform messages and
+	// 16 KiB (CR) / 1 KiB (FB, AMG) bursty per-peer messages.
+	topo := topology.MustNew(topology.Theta())
+	const MiB = 1024 * 1024
+	cases := []struct {
+		app      string
+		appRanks int
+		cfg      BackgroundConfig
+		want     float64 // in the table's units
+		unit     float64
+	}{
+		{"CR", 1000, BackgroundConfig{Kind: UniformRandom, MsgBytes: 16 * 1024, Interval: des.Millisecond}, 38.38, MiB},
+		{"FB", 1000, BackgroundConfig{Kind: UniformRandom, MsgBytes: 16 * 1024, Interval: des.Millisecond}, 38.38, MiB},
+		{"AMG", 1728, BackgroundConfig{Kind: UniformRandom, MsgBytes: 16 * 1024, Interval: des.Millisecond}, 27.00, MiB},
+		{"CR", 1000, BackgroundConfig{Kind: Bursty, MsgBytes: 16 * 1024, Interval: des.Millisecond}, 92.00, 1024 * MiB},
+		{"FB", 1000, BackgroundConfig{Kind: Bursty, MsgBytes: 1024, Interval: des.Millisecond}, 5.75, 1024 * MiB},
+		{"AMG", 1728, BackgroundConfig{Kind: Bursty, MsgBytes: 1024, Interval: des.Millisecond}, 2.85, 1024 * MiB},
+	}
+	for _, c := range cases {
+		bgNodes := topo.NumNodes() - c.appRanks
+		got := float64(c.cfg.PeakLoad(bgNodes)) / c.unit
+		if got < c.want*0.99 || got > c.want*1.01 {
+			t.Errorf("%s %v: peak load %.2f, want %.2f (±1%%)", c.app, c.cfg.Kind, got, c.want)
+		}
+	}
+}
+
+func TestPeakLoadEdgeCases(t *testing.T) {
+	cfg := BackgroundConfig{Kind: Bursty, MsgBytes: 100, Interval: 1, FanOut: 3}
+	if got := cfg.PeakLoad(10); got != 10*3*100 {
+		t.Errorf("fan-out peak load = %d", got)
+	}
+	if got := cfg.PeakLoad(1); got != 0 {
+		t.Errorf("single-node job peak load = %d, want 0", got)
+	}
+	cfg.FanOut = 100 // larger than the job: clamps to n-1
+	if got := cfg.PeakLoad(4); got != 4*3*100 {
+		t.Errorf("clamped fan-out peak load = %d", got)
+	}
+}
+
+func TestBackgroundConfigValidate(t *testing.T) {
+	bad := []BackgroundConfig{
+		{Kind: UniformRandom, MsgBytes: 0, Interval: 1},
+		{Kind: UniformRandom, MsgBytes: 1, Interval: 0},
+		{Kind: Bursty, MsgBytes: 1, Interval: 1, FanOut: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestUniformBackgroundGeneratesSteadyTraffic(t *testing.T) {
+	f := miniFabric(t, routing.Minimal, 20)
+	nodes := f.Topology()
+	all := make([]topology.NodeID, nodes.NumNodes())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	cfg := BackgroundConfig{Kind: UniformRandom, MsgBytes: 4096, Interval: 10 * des.Microsecond}
+	bg := StartBackground(f, cfg, all, des.NewRNG(1, "bg"))
+	f.Engine().RunUntil(105 * des.Microsecond)
+	bg.Stop()
+	// 10 waves x 64 nodes = 640 messages.
+	if bg.MessagesSent < 500 || bg.MessagesSent > 700 {
+		t.Fatalf("uniform background sent %d messages over 10 intervals, want ~640", bg.MessagesSent)
+	}
+	f.Engine().Run() // drain in-flight traffic
+	after := bg.MessagesSent
+	f.Engine().Run()
+	if bg.MessagesSent != after {
+		t.Fatal("background kept sending after Stop")
+	}
+}
+
+func TestBurstyBackgroundWaves(t *testing.T) {
+	f := miniFabric(t, routing.Adaptive, 21)
+	all := make([]topology.NodeID, f.Topology().NumNodes())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	cfg := BackgroundConfig{Kind: Bursty, MsgBytes: 1024, Interval: des.Millisecond, FanOut: 0}
+	bg := StartBackground(f, cfg, all, des.NewRNG(2, "bg"))
+	f.Engine().RunUntil(des.Millisecond) // exactly one wave
+	n := int64(len(all))
+	if bg.MessagesSent != n*(n-1) {
+		t.Fatalf("bursty wave sent %d messages, want %d (all-to-all)", bg.MessagesSent, n*(n-1))
+	}
+	if bg.BytesSent != cfg.PeakLoad(len(all)) {
+		t.Fatalf("bursty wave bytes %d != PeakLoad %d", bg.BytesSent, cfg.PeakLoad(len(all)))
+	}
+	bg.Stop()
+}
+
+func TestBurstyFanOutSubset(t *testing.T) {
+	f := miniFabric(t, routing.Minimal, 22)
+	all := make([]topology.NodeID, f.Topology().NumNodes())
+	for i := range all {
+		all[i] = topology.NodeID(i)
+	}
+	cfg := BackgroundConfig{Kind: Bursty, MsgBytes: 512, Interval: des.Millisecond, FanOut: 3}
+	bg := StartBackground(f, cfg, all, des.NewRNG(3, "bg"))
+	f.Engine().RunUntil(des.Millisecond)
+	if bg.MessagesSent != int64(len(all))*3 {
+		t.Fatalf("fan-out wave sent %d messages, want %d", bg.MessagesSent, len(all)*3)
+	}
+	bg.Stop()
+}
+
+func TestBackgroundInterferesWithApplication(t *testing.T) {
+	// The qualitative core of Sec. IV-C: an application's communication
+	// time grows when background traffic shares the network.
+	run := func(withBG bool) des.Time {
+		f := miniFabric(t, routing.Adaptive, 23)
+		tr, _ := trace.CR(trace.CRConfig{Ranks: 16, MessageBytes: 64 * trace.KB})
+		nodes, _ := placement.Allocate(f.Topology(), placement.RandomNode, 16, des.NewRNG(4, "a"))
+		r, _ := NewReplay(f, Job{Name: "app", Trace: tr, Nodes: nodes})
+		var bg *Background
+		if withBG {
+			rest := placement.Remaining(f.Topology(), nodes)
+			bg = StartBackground(f, BackgroundConfig{
+				Kind: UniformRandom, MsgBytes: 64 * 1024, Interval: 2 * des.Microsecond,
+			}, rest, des.NewRNG(5, "bg"))
+		}
+		r.Start()
+		eng := f.Engine()
+		for !r.Done() && eng.Step() {
+		}
+		if bg != nil {
+			bg.Stop()
+		}
+		if !r.Done() {
+			t.Fatal("app never finished")
+		}
+		return r.MaxCommTime()
+	}
+	clean, noisy := run(false), run(true)
+	if noisy <= clean {
+		t.Fatalf("background traffic did not slow the app: clean=%v noisy=%v", clean, noisy)
+	}
+}
+
+func TestBackgroundTinyJobInert(t *testing.T) {
+	f := miniFabric(t, routing.Minimal, 24)
+	bg := StartBackground(f, BackgroundConfig{
+		Kind: UniformRandom, MsgBytes: 100, Interval: des.Microsecond,
+	}, []topology.NodeID{3}, des.NewRNG(6, "bg"))
+	f.Engine().RunUntil(10 * des.Microsecond)
+	if bg.MessagesSent != 0 {
+		t.Fatalf("single-node background sent %d messages", bg.MessagesSent)
+	}
+}

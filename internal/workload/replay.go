@@ -1,0 +1,251 @@
+// Package workload replays application traces on the network fabric with
+// MPI-like semantics — the role of the trace replay layer of CODES — and
+// generates the paper's synthetic background jobs (Sec. IV-C).
+//
+// Replay semantics: each rank executes its op list in order. Nonblocking
+// sends are eager — they complete when the last byte is injected at the
+// NIC; nonblocking receives complete when the matching message has fully
+// arrived; WaitAll blocks the rank until both sets drain. Computation time
+// is zero throughout, as in the paper's simulations.
+package workload
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/network"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+// Job binds a trace to machine nodes.
+type Job struct {
+	Name  string
+	Trace *trace.Trace
+	// Nodes maps rank i to Nodes[i]; it must cover every rank.
+	Nodes []topology.NodeID
+	// MsgScale multiplies every transfer size — the knob of the paper's
+	// communication-intensity sensitivity study (Sec. IV-B). Zero means 1.
+	MsgScale float64
+	// Start is the simulated time the job begins.
+	Start des.Time
+	// OnComplete, when non-nil, fires once when the job's last rank
+	// finishes (batch schedulers use it to release the allocation).
+	OnComplete func(des.Time)
+}
+
+type recvKey struct {
+	src int32
+	tag int32
+}
+
+type rankState struct {
+	ops          []trace.Op
+	pc           int
+	pendingSends int
+	pendingRecvs int
+	expected     map[recvKey]int // posted receives not yet arrived
+	surplus      map[recvKey]int // arrivals with no posted receive yet
+	blocked      bool
+	finished     des.Time // -1 until the rank completes
+}
+
+// Replay drives one job on a fabric.
+type Replay struct {
+	f     *network.Fabric
+	job   Job
+	scale float64
+	ranks []rankState
+	done  int
+}
+
+// NewReplay validates the job and prepares (but does not start) the replay.
+func NewReplay(f *network.Fabric, job Job) (*Replay, error) {
+	n := job.Trace.NumRanks()
+	if n == 0 {
+		return nil, fmt.Errorf("workload: job %q has no ranks", job.Name)
+	}
+	if len(job.Nodes) < n {
+		return nil, fmt.Errorf("workload: job %q has %d ranks but %d nodes", job.Name, n, len(job.Nodes))
+	}
+	seen := make(map[topology.NodeID]bool, n)
+	for _, node := range job.Nodes[:n] {
+		if int(node) < 0 || int(node) >= f.NodeCount() {
+			return nil, fmt.Errorf("workload: job %q node %d out of range", job.Name, node)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("workload: job %q maps two ranks to node %d", job.Name, node)
+		}
+		seen[node] = true
+	}
+	scale := job.MsgScale
+	if scale <= 0 {
+		scale = 1
+	}
+	r := &Replay{f: f, job: job, scale: scale, ranks: make([]rankState, n)}
+	for i := range r.ranks {
+		r.ranks[i] = rankState{
+			ops:      job.Trace.Ranks[i],
+			expected: make(map[recvKey]int),
+			surplus:  make(map[recvKey]int),
+			finished: -1,
+		}
+	}
+	return r, nil
+}
+
+// Start schedules the job's first operations at job.Start.
+func (r *Replay) Start() {
+	r.f.Engine().At(r.job.Start, func() {
+		for i := range r.ranks {
+			r.advance(i)
+		}
+	})
+}
+
+// scaleBytes applies the sensitivity-study message scale.
+func (r *Replay) scaleBytes(b int64) int64 {
+	if r.scale == 1 {
+		return b
+	}
+	s := int64(float64(b) * r.scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// advance executes ops for a rank until it blocks on a fence or finishes.
+func (r *Replay) advance(rank int) {
+	st := &r.ranks[rank]
+	for st.pc < len(st.ops) {
+		op := st.ops[st.pc]
+		switch op.Kind {
+		case trace.OpISend:
+			st.pc++
+			st.pendingSends++
+			dstRank := int(op.Peer)
+			key := recvKey{src: int32(rank), tag: op.Tag}
+			r.f.Send(
+				r.job.Nodes[rank], r.job.Nodes[dstRank], r.scaleBytes(op.Bytes),
+				func(des.Time) { r.sendInjected(rank) },
+				func(des.Time) { r.messageArrived(dstRank, key) },
+			)
+		case trace.OpIRecv:
+			st.pc++
+			key := recvKey{src: op.Peer, tag: op.Tag}
+			if st.surplus[key] > 0 {
+				st.surplus[key]--
+				if st.surplus[key] == 0 {
+					delete(st.surplus, key)
+				}
+			} else {
+				st.expected[key]++
+				st.pendingRecvs++
+			}
+		case trace.OpWaitAll:
+			if st.pendingSends+st.pendingRecvs > 0 {
+				st.blocked = true
+				return
+			}
+			st.pc++
+		default:
+			panic(fmt.Sprintf("workload: rank %d: unknown op kind %v", rank, op.Kind))
+		}
+	}
+	if st.finished < 0 && st.pendingSends+st.pendingRecvs == 0 {
+		r.finishRank(st)
+	}
+}
+
+func (r *Replay) finishRank(st *rankState) {
+	st.finished = r.f.Engine().Now()
+	r.done++
+	if r.done == len(r.ranks) && r.job.OnComplete != nil {
+		r.job.OnComplete(st.finished)
+	}
+}
+
+func (r *Replay) sendInjected(rank int) {
+	st := &r.ranks[rank]
+	st.pendingSends--
+	r.maybeResume(rank)
+}
+
+func (r *Replay) messageArrived(rank int, key recvKey) {
+	st := &r.ranks[rank]
+	if st.expected[key] > 0 {
+		st.expected[key]--
+		if st.expected[key] == 0 {
+			delete(st.expected, key)
+		}
+		st.pendingRecvs--
+		r.maybeResume(rank)
+		return
+	}
+	st.surplus[key]++
+}
+
+func (r *Replay) maybeResume(rank int) {
+	st := &r.ranks[rank]
+	if st.pendingSends+st.pendingRecvs > 0 {
+		return
+	}
+	if st.blocked {
+		st.blocked = false
+		st.pc++ // past the fence that blocked us
+		r.advance(rank)
+	} else if st.pc == len(st.ops) && st.finished < 0 {
+		// Trailing nonblocking ops completed after the rank ran out of ops.
+		r.finishRank(st)
+	}
+}
+
+// Done reports whether every rank has completed all its operations.
+func (r *Replay) Done() bool { return r.done == len(r.ranks) }
+
+// RanksDone returns how many ranks have finished.
+func (r *Replay) RanksDone() int { return r.done }
+
+// CommTimes returns each rank's communication time — the paper's metric:
+// the time the rank spent completing all its message operations (ranks
+// start at job start and perform no computation). Unfinished ranks are
+// reported with the span up to the current simulated time.
+func (r *Replay) CommTimes() []des.Time {
+	out := make([]des.Time, len(r.ranks))
+	now := r.f.Engine().Now()
+	for i, st := range r.ranks {
+		end := st.finished
+		if end < 0 {
+			end = now
+		}
+		out[i] = end - r.job.Start
+	}
+	return out
+}
+
+// MaxCommTime returns the slowest rank's communication time.
+func (r *Replay) MaxCommTime() des.Time {
+	var max des.Time
+	for _, t := range r.CommTimes() {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Nodes returns the node of each rank.
+func (r *Replay) Nodes() []topology.NodeID {
+	return r.job.Nodes[:len(r.ranks)]
+}
+
+// AvgHopsPerRank returns the paper's per-rank average hop counts: the mean
+// routers traversed by packets delivered to each rank's node.
+func (r *Replay) AvgHopsPerRank() []float64 {
+	out := make([]float64, len(r.ranks))
+	for i, node := range r.Nodes() {
+		out[i], _ = r.f.AvgHops(node)
+	}
+	return out
+}
