@@ -1,0 +1,21 @@
+# Tier-1 verification and performance tracking for the dragonfly study.
+
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The concurrency surfaces: the parallel sweep executor and batch runner.
+race:
+	$(GO) test -race ./internal/experiments ./internal/core
+
+# Refresh the in-repo performance snapshot (engine microbenches + artifact
+# regeneration benches). Commit BENCH_des.json so the perf trajectory is
+# visible in history.
+bench:
+	$(GO) run ./cmd/dfbench -out BENCH_des.json ./internal/des .

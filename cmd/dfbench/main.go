@@ -1,0 +1,137 @@
+// Command dfbench runs the repository's benchmark suites and writes a JSON
+// snapshot, so the performance trajectory of the simulator's hot paths is
+// tracked in-repo from PR to PR (`make bench` refreshes BENCH_des.json; the
+// file carries no timestamp, so a re-run on unchanged code diffs cleanly
+// apart from machine noise).
+//
+// Examples:
+//
+//	dfbench                                  # engine + artifact benches -> BENCH_des.json
+//	dfbench -bench Queue -out queue.json ./internal/des
+//	dfbench -stdout ./internal/des           # print the snapshot instead
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op": 1952
+}
+
+// Snapshot is the file format of BENCH_des.json.
+type Snapshot struct {
+	Command    string      `json:"command"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+		out     = flag.String("out", "BENCH_des.json", "snapshot output path")
+		stdout  = flag.Bool("stdout", false, "print the snapshot to stdout instead of writing -out")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/des", "."}
+	}
+
+	args := append([]string{"test", "-bench", *benchRe, "-benchmem", "-run", "^$"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var raw bytes.Buffer
+	cmd.Stdout = &raw
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	snap := Snapshot{
+		Command:   "go " + strings.Join(args, " "),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, line := range strings.Split(raw.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = cpu
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatalf("no benchmark lines in output:\n%s", raw.String())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if *stdout {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dfbench: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parseBenchLine decodes "BenchmarkName-8  923167  1952 ns/op  370 B/op ..."
+// into a Benchmark; reports false for non-benchmark lines.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so snapshots from different machines
+	// keep comparable names.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dfbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,12 +2,17 @@
 // one placement policy, one routing mechanism, optionally with background
 // traffic, and prints the paper's metrics.
 //
+// Comma-separated placement/routing lists sweep the cross product of cells;
+// -parallel fans the independent simulations across a worker pool while the
+// results print in cell order, identical to a sequential sweep.
+//
 // Examples:
 //
 //	dfsim -describe
 //	dfsim -app CR -placement rand -routing min
 //	dfsim -app AMG -placement cont -routing adp -background uniform
 //	dfsim -app FB -machine mini -scale 0.5 -seed 7
+//	dfsim -app CR -placement cont,rand -routing min,adp -parallel 4
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dragonfly"
 	"dragonfly/internal/ascii"
@@ -24,8 +30,9 @@ func main() {
 	var (
 		machine    = flag.String("machine", "theta", "machine: theta or mini")
 		app        = flag.String("app", "CR", "application: CR, FB, or AMG")
-		place      = flag.String("placement", "cont", "placement: cont, cab, chas, rotr, rand")
-		route      = flag.String("routing", "min", "routing: min or adp")
+		place      = flag.String("placement", "cont", "placement (comma-separated sweeps): cont, cab, chas, rotr, rand")
+		route      = flag.String("routing", "min", "routing (comma-separated sweeps): min or adp")
+		parallel   = flag.Int("parallel", 0, "worker pool for swept cells (1 = sequential, 0 = NumCPU)")
 		mapName    = flag.String("mapping", "identity", "task mapping: identity, shuffle, router-packed, group-packed")
 		msgScale   = flag.Float64("scale", 1, "message-size scale factor (sensitivity study)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -58,58 +65,77 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pol, err := dragonfly.ParsePlacement(*place)
-	if err != nil {
-		fatalf("%v", err)
+	var pols []dragonfly.PlacementPolicy
+	for _, s := range strings.Split(*place, ",") {
+		pol, err := dragonfly.ParsePlacement(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pols = append(pols, pol)
 	}
-	mech, err := dragonfly.ParseRouting(*route)
-	if err != nil {
-		fatalf("%v", err)
+	var mechs []dragonfly.RoutingMechanism
+	for _, s := range strings.Split(*route, ",") {
+		mech, err := dragonfly.ParseRouting(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mechs = append(mechs, mech)
 	}
 	mapPol, err := dragonfly.ParseMapping(*mapName)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	cfg := dragonfly.Config{
-		Topology:  topoCfg,
-		Params:    dragonfly.DefaultParams(),
-		Placement: pol,
-		Routing:   mech,
-		Mapping:   mapPol,
-		Trace:     tr,
-		MsgScale:  *msgScale,
-		Seed:      *seed,
-	}
-	switch *background {
-	case "none":
-	case "uniform", "bursty":
-		kind := dragonfly.UniformRandom
-		interval := 50 * dragonfly.Microsecond
-		fan := 0
-		if *background == "bursty" {
-			kind = dragonfly.Bursty
-			interval = 500 * dragonfly.Microsecond
-			fan = *bgFanOut
+	var cfgs []dragonfly.Config
+	for _, mech := range mechs {
+		for _, pol := range pols {
+			cfg := dragonfly.Config{
+				Topology:  topoCfg,
+				Params:    dragonfly.DefaultParams(),
+				Placement: pol,
+				Routing:   mech,
+				Mapping:   mapPol,
+				Trace:     tr,
+				MsgScale:  *msgScale,
+				Seed:      *seed,
+			}
+			switch *background {
+			case "none":
+			case "uniform", "bursty":
+				kind := dragonfly.UniformRandom
+				interval := 50 * dragonfly.Microsecond
+				fan := 0
+				if *background == "bursty" {
+					kind = dragonfly.Bursty
+					interval = 500 * dragonfly.Microsecond
+					fan = *bgFanOut
+				}
+				if *bgInterval > 0 {
+					interval = dragonfly.Time(bgInterval.Nanoseconds())
+				}
+				cfg.Background = &dragonfly.BackgroundConfig{
+					Kind: kind, MsgBytes: *bgBytes, Interval: interval, FanOut: fan,
+				}
+				cfg.MaxSimTime = dragonfly.Second
+			default:
+				fatalf("unknown background %q", *background)
+			}
+			cfgs = append(cfgs, cfg)
 		}
-		if *bgInterval > 0 {
-			interval = dragonfly.Time(bgInterval.Nanoseconds())
-		}
-		cfg.Background = &dragonfly.BackgroundConfig{
-			Kind: kind, MsgBytes: *bgBytes, Interval: interval, FanOut: fan,
-		}
-		cfg.MaxSimTime = dragonfly.Second
-	default:
-		fatalf("unknown background %q", *background)
 	}
 
-	res, err := dragonfly.Run(cfg)
+	results, err := dragonfly.RunBatch(cfgs, *parallel)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printResult(res, *app)
-	if *plot {
-		printPlots(res)
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(res, *app)
+		if *plot {
+			printPlots(res)
+		}
 	}
 }
 

@@ -24,11 +24,12 @@ func main() {
 		exps = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+
 			strings.Join(dragonfly.ExperimentIDs(), ", ")+
 			"; extensions: "+strings.Join(dragonfly.ExtensionExperimentIDs(), ", ")+")")
-		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
-		seed    = flag.Int64("seed", 1, "random seed")
-		dataDir = flag.String("data", "", "directory for CSV output (omit to skip)")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
-		burst   = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dataDir  = flag.String("data", "", "directory for CSV output (omit to skip)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		burst    = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
+		parallel = flag.Int("parallel", 0, "worker pool for independent simulations (1 = sequential, 0 = NumCPU); reports are byte-identical at every setting")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Seed:         *seed,
 		DataDir:      *dataDir,
 		BurstDivisor: *burst,
+		Parallel:     *parallel,
 	}
 	switch *scale {
 	case "quick":

@@ -47,6 +47,8 @@ const (
 	Microsecond = des.Microsecond
 	Millisecond = des.Millisecond
 	Second      = des.Second
+	// MaxTime is the latest schedulable instant (an "unbounded" deadline).
+	MaxTime = des.MaxTime
 )
 
 // Machine description.
@@ -171,6 +173,11 @@ type (
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunBatch executes independent simulations across a bounded worker pool
+// (parallel <= 0 selects NumCPU) and returns results in config order,
+// bit-identical to sequential Run calls at every worker count.
+func RunBatch(cfgs []Config, parallel int) ([]*Result, error) { return core.RunBatch(cfgs, parallel) }
 
 // Multijob co-runs (the production scenario of Sec. IV-C, with real
 // application traces instead of synthetic background traffic).

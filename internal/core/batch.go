@@ -1,0 +1,55 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunBatch executes independent simulation configs across a bounded worker
+// pool and returns their results in config order. Each simulation remains a
+// bit-reproducible sequential DES on its own engine and seeded RNG streams;
+// only whole configurations fan out, so RunBatch(cfgs, n) returns exactly
+// what n successive Run calls would, for every n.
+//
+// parallel <= 0 selects runtime.NumCPU(). All configs are attempted even
+// after a failure; the returned error is the first in config order (not
+// completion order), again so that parallelism never changes what callers
+// observe. Results at failed indices are nil.
+func RunBatch(cfgs []Config, parallel int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > len(cfgs) {
+		parallel = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if parallel <= 1 {
+		for i, cfg := range cfgs {
+			results[i], errs[i] = Run(cfg)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = Run(cfgs[i])
+				}
+			}()
+		}
+		for i := range cfgs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

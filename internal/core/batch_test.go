@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dragonfly/internal/trace"
+)
+
+func miniCellConfigs(t *testing.T) []Config {
+	t.Helper()
+	tr, err := trace.CR(trace.CRConfig{Ranks: 16, MessageBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []Config
+	for _, cell := range AllCells() {
+		cfgs = append(cfgs, MiniConfig(tr, cell, 1))
+	}
+	return cfgs
+}
+
+// RunBatch must return, for every worker count, exactly the results that
+// sequential Run calls produce — the determinism contract the parallel sweep
+// executor rests on.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	cfgs := miniCellConfigs(t)
+	want := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		got, err := RunBatch(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Duration != want[i].Duration || got[i].Events != want[i].Events {
+				t.Fatalf("workers=%d cfg %s: duration/events (%v, %d) != sequential (%v, %d)",
+					workers, cfgs[i].Name(), got[i].Duration, got[i].Events, want[i].Duration, want[i].Events)
+			}
+			if !reflect.DeepEqual(got[i].CommTimes, want[i].CommTimes) {
+				t.Fatalf("workers=%d cfg %s: comm times diverge from sequential run", workers, cfgs[i].Name())
+			}
+			if !reflect.DeepEqual(got[i].AvgHops, want[i].AvgHops) {
+				t.Fatalf("workers=%d cfg %s: hops diverge from sequential run", workers, cfgs[i].Name())
+			}
+			if !reflect.DeepEqual(got[i].Links, want[i].Links) {
+				t.Fatalf("workers=%d cfg %s: link stats diverge from sequential run", workers, cfgs[i].Name())
+			}
+		}
+	}
+}
+
+// A config error must surface as the first failure in config order, with the
+// healthy configs still attempted.
+func TestRunBatchErrorOrder(t *testing.T) {
+	cfgs := miniCellConfigs(t)[:4]
+	cfgs[1].Trace = nil // fails fast in Run
+	cfgs[3].Trace = nil
+	results, err := RunBatch(cfgs, 4)
+	if err == nil {
+		t.Fatal("batch with broken config reported no error")
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("healthy configs were not run")
+	}
+	if results[1] != nil || results[3] != nil {
+		t.Fatal("broken configs produced results")
+	}
+}

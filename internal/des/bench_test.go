@@ -1,6 +1,10 @@
 package des
 
-import "testing"
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
 
 // BenchmarkEngineThroughput measures raw event throughput: the simulator's
 // fundamental cost unit.
@@ -26,5 +30,66 @@ func BenchmarkRNGStream(b *testing.B) {
 	r := NewRNG(1, "bench")
 	for i := 0; i < b.N; i++ {
 		_ = r.Int63()
+	}
+}
+
+// --- queue implementation comparison ----------------------------------------
+
+// refHeap is the container/heap implementation the engine used before the
+// typed 4-ary queue; it stays here as the benchmark baseline so the win (and
+// any regression) is visible from one `go test -bench Queue` run.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// queueWorkload replays a fixed hold-model schedule (push a randomly-timed
+// replacement for every pop, over a resident set of `live` events) against
+// both queue implementations.
+func queueWorkload(b *testing.B, live int, push func(event), pop func() event) {
+	r := rand.New(rand.NewSource(42))
+	var seq uint64
+	now := Time(0)
+	for i := 0; i < live; i++ {
+		seq++
+		push(event{at: Time(r.Intn(1000)), seq: seq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := pop()
+		now = ev.at
+		seq++
+		push(event{at: now + Time(r.Intn(1000)+1), seq: seq})
+	}
+}
+
+func BenchmarkQueueHoldModel(b *testing.B) {
+	for _, live := range []int{64, 4096} {
+		name := map[int]string{64: "live64", 4096: "live4096"}[live]
+		b.Run("typed4ary/"+name, func(b *testing.B) {
+			var q eventQueue
+			queueWorkload(b, live, q.push, q.pop)
+		})
+		b.Run("containerheap/"+name, func(b *testing.B) {
+			var h refHeap
+			queueWorkload(b, live,
+				func(e event) { heap.Push(&h, e) },
+				func() event { return heap.Pop(&h).(event) })
+		})
 	}
 }

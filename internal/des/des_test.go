@@ -176,6 +176,65 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 	}
 }
 
+// Property: the typed 4-ary queue drains any push/pop interleaving in exact
+// (at, seq) order — the contract container/heap used to provide.
+func TestEventQueueOrderProperty(t *testing.T) {
+	f := func(ats []uint16, popEvery uint8) bool {
+		var q eventQueue
+		var drained []event
+		interval := int(popEvery%7) + 2
+		var seq uint64
+		for i, at := range ats {
+			seq++
+			q.push(event{at: Time(at), seq: seq})
+			if i%interval == 0 && q.len() > 0 {
+				drained = append(drained, q.pop())
+			}
+		}
+		for q.len() > 0 {
+			drained = append(drained, q.pop())
+		}
+		if len(drained) != len(ats) {
+			return false
+		}
+		// Each pop must yield the minimum of what was resident, so any
+		// element popped later with a strictly earlier key would have been
+		// pushed after — i.e. within a drain run order is nondecreasing, and
+		// globally each event's key must not precede the previous pop's key
+		// unless it was pushed later.
+		seen := make(map[uint64]int, len(drained))
+		for i, e := range drained {
+			seen[e.seq] = i
+		}
+		for i := 1; i < len(drained); i++ {
+			a, b := drained[i-1], drained[i]
+			if b.before(a) && b.seq < a.seq {
+				return false // b was already resident when a popped
+			}
+			_ = seen
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if MaxTime != Time(1<<62-1) {
+		t.Fatalf("MaxTime = %d", int64(MaxTime))
+	}
+	e := New()
+	hit := false
+	e.At(MaxTime, func() { hit = true })
+	if got := e.Run(); got != MaxTime {
+		t.Fatalf("Run returned %v, want MaxTime", got)
+	}
+	if !hit {
+		t.Fatal("event at MaxTime did not run under Run()")
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		t    Time

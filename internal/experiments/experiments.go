@@ -22,8 +22,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
@@ -57,7 +59,15 @@ type Options struct {
 	// DataDir, when non-empty, receives one CSV file per produced table.
 	DataDir string
 	// Progress, when non-nil, receives one line per completed simulation.
+	// Writes are serialized, so parallel workers never interleave lines.
 	Progress io.Writer
+	// Parallel bounds the worker pool that independent simulations of one
+	// experiment fan out across: 1 runs strictly sequentially, 0 (the
+	// default) selects runtime.NumCPU(). Each simulation remains a
+	// bit-reproducible sequential DES on its own engine, and results merge
+	// in configuration order, so every Parallel value produces byte-identical
+	// reports; only wall-clock time and the order of Progress lines change.
+	Parallel int
 	// BurstDivisor scales down the bursty background volume (Sec. IV-C) by
 	// limiting each node's fan-out to (peers)/BurstDivisor while keeping
 	// the per-peer message size; 0 means the scale's default (32 at paper
@@ -67,15 +77,38 @@ type Options struct {
 }
 
 // Runner executes experiments, caching simulation results so that figures
-// sharing runs (e.g. Figs. 3 and 4) pay for them once.
+// sharing runs (e.g. Figs. 3 and 4) pay for them once. The cache has
+// single-flight semantics: concurrent requests for one configuration — from
+// the parallel sweep workers or from callers driving the Runner from several
+// goroutines — run it exactly once and share the result.
 type Runner struct {
-	opts  Options
-	cache map[string]*core.Result
+	opts Options
+
+	mu    sync.Mutex // guards cache
+	cache map[string]*cacheEntry
+
+	progressMu sync.Mutex // serializes Progress lines
+}
+
+// cacheEntry is one simulation cell's single-flight slot: done closes when
+// the computing goroutine has filled res/err.
+type cacheEntry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
 }
 
 // NewRunner builds a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*core.Result)}
+	return &Runner{opts: opts, cache: make(map[string]*cacheEntry)}
+}
+
+// parallel returns the effective worker-pool bound.
+func (r *Runner) parallel() int {
+	if r.opts.Parallel > 0 {
+		return r.opts.Parallel
+	}
+	return runtime.NumCPU()
 }
 
 // IDs lists the experiment identifiers in the paper's order.
@@ -240,6 +273,8 @@ func (r *Runner) finish(rep *Report) (*Report, error) {
 
 func (r *Runner) progressf(format string, args ...interface{}) {
 	if r.opts.Progress != nil {
+		r.progressMu.Lock()
+		defer r.progressMu.Unlock()
 		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
 	}
 }
@@ -268,7 +303,10 @@ func (r *Runner) machine() topology.Config {
 // appNames lists the paper's applications in presentation order.
 func appNames() []string { return []string{"CR", "FB", "AMG"} }
 
-// appTrace generates (once) the trace of an application at the current scale.
+// appTrace generates the trace of an application at the current scale.
+// Generation is deterministic (fixed internal seeds), so every call yields an
+// identical trace; each simulation gets its own copy, which keeps runs free
+// to share nothing.
 func (r *Runner) appTrace(name string) (*trace.Trace, error) {
 	paper := r.opts.Scale == ScalePaper
 	switch name {
@@ -351,42 +389,118 @@ func (r *Runner) burstyBackground(app string, bgNodes int) workload.BackgroundCo
 
 // --- shared simulation plumbing ---------------------------------------------
 
-// resultFor runs (or recalls) one simulation cell.
+// simReq identifies one simulation cell of an experiment's grid.
+type simReq struct {
+	app      string
+	cell     core.Cell
+	msgScale float64
+	bg       *workload.BackgroundConfig
+}
+
+func (rq simReq) key() string {
+	return fmt.Sprintf("%s|%s|%g|%v", rq.app, rq.cell.Name(), rq.msgScale, describeBG(rq.bg))
+}
+
+// resultFor runs (or recalls) one simulation cell. Safe for concurrent use:
+// the first caller for a key computes, later callers block on the same entry.
 func (r *Runner) resultFor(app string, cell core.Cell, msgScale float64, bg *workload.BackgroundConfig) (*core.Result, error) {
-	key := fmt.Sprintf("%s|%s|%g|%v", app, cell.Name(), msgScale, describeBG(bg))
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	rq := simReq{app: app, cell: cell, msgScale: msgScale, bg: bg}
+	key := rq.key()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
 	}
-	tr, err := r.appTrace(app)
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.runCell(rq)
+	close(e.done)
+	return e.res, e.err
+}
+
+// runCell executes one simulation cell, uncached.
+func (r *Runner) runCell(rq simReq) (*core.Result, error) {
+	tr, err := r.appTrace(rq.app)
 	if err != nil {
 		return nil, err
 	}
 	cfg := core.Config{
 		Topology:  r.machine(),
 		Params:    network.DefaultParams(),
-		Placement: cell.Placement,
-		Routing:   cell.Routing,
+		Placement: rq.cell.Placement,
+		Routing:   rq.cell.Routing,
 		Trace:     tr,
-		MsgScale:  msgScale,
+		MsgScale:  rq.msgScale,
 		Seed:      r.opts.Seed,
 	}
-	if bg != nil {
-		b := *bg
+	if rq.bg != nil {
+		b := *rq.bg
 		cfg.Background = &b
 		// Interference runs cannot drain the queue; bound them.
 		cfg.MaxSimTime = des.Second
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s under %s: %w", app, cell.Name(), err)
+		return nil, fmt.Errorf("experiments: %s under %s: %w", rq.app, rq.cell.Name(), err)
 	}
 	if !res.Completed {
-		return nil, fmt.Errorf("experiments: %s under %s did not complete within %v", app, cell.Name(), cfg.MaxSimTime)
+		return nil, fmt.Errorf("experiments: %s under %s did not complete within %v", rq.app, rq.cell.Name(), cfg.MaxSimTime)
 	}
 	r.progressf("ran %-3s %-9s scale=%-5g bg=%-12s simtime=%v events=%d",
-		app, cell.Name(), orOne(msgScale), describeBG(bg), res.Duration, res.Events)
-	r.cache[key] = res
+		rq.app, rq.cell.Name(), orOne(rq.msgScale), describeBG(rq.bg), res.Duration, res.Events)
 	return res, nil
+}
+
+// prefetch fans an experiment's simulation grid out across the worker pool,
+// filling the cache so that the table-building loops afterwards only recall
+// results. Requests are deduplicated and already-cached cells cost nothing,
+// so callers list their full grid. With an effective parallelism of 1 (or a
+// trivial grid) it is a no-op: the table loops then run each cell lazily, in
+// the exact order and with the exact observable behavior of the historical
+// sequential runner. Errors surface in request order, matching what the
+// sequential path would have failed on first.
+func (r *Runner) prefetch(reqs []simReq) error {
+	workers := r.parallel()
+	if workers <= 1 || len(reqs) < 2 {
+		return nil
+	}
+	seen := make(map[string]bool, len(reqs))
+	uniq := reqs[:0:0]
+	for _, rq := range reqs {
+		if k := rq.key(); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, rq)
+		}
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	errs := make([]error, len(uniq))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				_, errs[i] = r.resultFor(uniq[i].app, uniq[i].cell, uniq[i].msgScale, uniq[i].bg)
+			}
+		}()
+	}
+	for i := range uniq {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func orOne(s float64) float64 {

@@ -38,8 +38,9 @@ func (r *Runner) XMap() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cfgs []core.Config
 	for _, pol := range mapping.All() {
-		cfg := core.Config{
+		cfgs = append(cfgs, core.Config{
 			Topology:  r.machine(),
 			Params:    network.DefaultParams(),
 			Placement: placement.RandomRouter,
@@ -47,11 +48,14 @@ func (r *Runner) XMap() (*Report, error) {
 			Mapping:   pol,
 			Trace:     tr,
 			Seed:      r.opts.Seed,
-		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	results, err := core.RunBatch(cfgs, r.parallel())
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		pol := mapping.All()[i]
 		if !res.Completed {
 			return nil, fmt.Errorf("experiments: xmap %v did not complete", pol)
 		}

@@ -15,6 +15,15 @@ func (r *Runner) Figure3() (*Report, error) {
 		ID:    "fig3",
 		Title: "Application communication times under different placement and routing (Figure 3)",
 	}
+	var grid []simReq
+	for _, app := range appNames() {
+		for _, cell := range core.AllCells() {
+			grid = append(grid, simReq{app: app, cell: cell, msgScale: 1})
+		}
+	}
+	if err := r.prefetch(grid); err != nil {
+		return nil, err
+	}
 	for _, app := range appNames() {
 		t := Table{
 			Title:   fmt.Sprintf("%s communication time distribution (ms)", app),
@@ -53,6 +62,9 @@ func (r *Runner) Figure4() (*Report, error) {
 	hops := Table{
 		Title:   "CR average hops per rank (distribution percentiles)",
 		Columns: []string{"config", "p25", "p50", "p75", "p90", "max"},
+	}
+	if err := r.prefetch(isolatedGrid("CR")); err != nil {
+		return nil, err
 	}
 	for _, cell := range core.AllCells() {
 		res, err := r.resultFor("CR", cell, 1, nil)
@@ -109,6 +121,9 @@ func (r *Runner) Figure6() (*Report, error) {
 // The boolean selectors pick which of the four panels to emit; restrict
 // limits the census to channels of routers serving the application.
 func (r *Runner) channelTables(app string, restrict, localTraffic, globalTraffic, localSat, globalSat bool) ([]Table, []Plot, error) {
+	if err := r.prefetch(isolatedGrid(app)); err != nil {
+		return nil, nil, err
+	}
 	type panel struct {
 		on    bool
 		title string
@@ -163,4 +178,14 @@ func (r *Runner) channelTables(app string, restrict, localTraffic, globalTraffic
 		})
 	}
 	return out, plots, nil
+}
+
+// isolatedGrid lists one application's ten no-background cells in the
+// paper's presentation order.
+func isolatedGrid(app string) []simReq {
+	var grid []simReq
+	for _, cell := range core.AllCells() {
+		grid = append(grid, simReq{app: app, cell: cell, msgScale: 1})
+	}
+	return grid
 }

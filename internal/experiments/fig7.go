@@ -30,6 +30,22 @@ func (r *Runner) Figure7() (*Report, error) {
 		Notes: []string{"values are max comm time as % of rand-adp at the same scale"},
 	}
 	baseline := core.Cell{Placement: placement.RandomNode, Routing: routing.Adaptive}
+	var grid []simReq
+	for _, app := range appNames() {
+		scales := crFBScales
+		if app == "AMG" {
+			scales = amgScales
+		}
+		for _, s := range scales {
+			grid = append(grid, simReq{app: app, cell: baseline, msgScale: s})
+			for _, cell := range core.ExtremeCells() {
+				grid = append(grid, simReq{app: app, cell: cell, msgScale: s})
+			}
+		}
+	}
+	if err := r.prefetch(grid); err != nil {
+		return nil, err
+	}
 	for _, app := range appNames() {
 		scales := crFBScales
 		if app == "AMG" {

@@ -90,6 +90,9 @@ func (r *Runner) commBoxTable(app, title string, bg *workload.BackgroundConfig) 
 		Title:   title,
 		Columns: []string{"config", "min", "q1", "median", "q3", "max"},
 	}
+	if err := r.prefetch(backgroundGrid(app, bg)); err != nil {
+		return nil, nil, err
+	}
 	var boxes []ascii.NamedValues
 	for _, cell := range core.AllCells() {
 		res, err := r.resultFor(app, cell, 1, bg)
@@ -106,9 +109,21 @@ func (r *Runner) commBoxTable(app, title string, bg *workload.BackgroundConfig) 
 	return &t, &Plot{Title: title, Text: ascii.BoxPlot(boxes, 60)}, nil
 }
 
+// backgroundGrid lists one application's ten cells against a background load.
+func backgroundGrid(app string, bg *workload.BackgroundConfig) []simReq {
+	var grid []simReq
+	for _, cell := range core.AllCells() {
+		grid = append(grid, simReq{app: app, cell: cell, msgScale: 1, bg: bg})
+	}
+	return grid
+}
+
 // bgChannelTables renders the traffic through the channels of the routers
 // serving the application while it ran against the background.
 func (r *Runner) bgChannelTables(app string, bg *workload.BackgroundConfig, local, global bool) ([]Table, error) {
+	if err := r.prefetch(backgroundGrid(app, bg)); err != nil {
+		return nil, err
+	}
 	var out []Table
 	type panel struct {
 		on    bool
