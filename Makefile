@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,17 @@ build:
 test: build
 	$(GO) test ./...
 
-# The concurrency surfaces: the parallel sweep executor and batch runner.
+# Module-wide under the race detector: the parallel sweep executor and batch
+# runner are the concurrency surfaces, but every package runs so a data race
+# introduced anywhere is caught.
 race:
-	$(GO) test -race ./internal/experiments ./internal/core
+	$(GO) test -race ./...
+
+# CI smoke for the native fuzz targets; `go test -fuzz` accepts one target
+# per invocation, so each gets its own short budget.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRoute -fuzztime=10s ./internal/routing
+	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 
 # Refresh the in-repo performance snapshot (engine microbenches + artifact
 # regeneration benches). Commit BENCH_des.json so the perf trajectory is

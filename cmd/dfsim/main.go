@@ -42,6 +42,7 @@ func main() {
 		bgFanOut   = flag.Int("bg-fanout", 64, "bursty background fan-out per node (0 = all peers)")
 		describe   = flag.Bool("describe", false, "print the machine inventory (Figure 1) and exit")
 		plot       = flag.Bool("plot", false, "render ASCII comm-time box plot and channel-traffic CDFs")
+		auditOn    = flag.Bool("audit", false, "run under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
 	)
 	flag.Parse()
 
@@ -98,6 +99,7 @@ func main() {
 				Trace:     tr,
 				MsgScale:  *msgScale,
 				Seed:      *seed,
+				Audit:     *auditOn,
 			}
 			switch *background {
 			case "none":
@@ -208,6 +210,11 @@ func printResult(res *dragonfly.Result, app string) {
 	fmt.Printf("  global chans:  %.1f MiB total, %.2f MiB max; saturation %.4g ms total, %.4g ms max\n", gt, gtMax, gs, gsMax)
 	if res.BackgroundPeakLoad > 0 {
 		fmt.Printf("  bg peak load:  %.2f MiB per interval\n", float64(res.BackgroundPeakLoad)/(1024*1024))
+	}
+	if res.Audit != nil {
+		s := res.Audit.Stats
+		fmt.Printf("  audit:         clean (%d events, %d credit ops, %d routes, %d messages checked)\n",
+			s.Events, s.Reserves+s.Releases, s.Routes, s.Messages)
 	}
 }
 

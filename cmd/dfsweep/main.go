@@ -30,6 +30,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		burst    = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
 		parallel = flag.Int("parallel", 0, "worker pool for independent simulations (1 = sequential, 0 = NumCPU); reports are byte-identical at every setting")
+		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		DataDir:      *dataDir,
 		BurstDivisor: *burst,
 		Parallel:     *parallel,
+		Audit:        *auditOn,
 	}
 	switch *scale {
 	case "quick":

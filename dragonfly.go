@@ -25,6 +25,7 @@
 package dragonfly
 
 import (
+	"dragonfly/internal/audit"
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
 	"dragonfly/internal/experiments"
@@ -169,6 +170,18 @@ type (
 	Result = core.Result
 	// Cell is one placement x routing combination (Table I).
 	Cell = core.Cell
+)
+
+// Invariant auditing (Config.Audit, MultiConfig.Audit, the -audit flag of
+// dfsim and dfsweep): machine-checked credit conservation, byte/packet
+// conservation, VC-class monotonicity (deadlock-freedom witness), time
+// monotonicity, and per-NIC FIFO injection.
+type (
+	// AuditSummary carries an audited run's check counts and any recorded
+	// violations.
+	AuditSummary = audit.Summary
+	// AuditStats counts the invariant checks an audited run performed.
+	AuditStats = audit.Stats
 )
 
 // Run executes one simulation.

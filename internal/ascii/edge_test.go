@@ -1,0 +1,52 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoxPlotPanicsOnNarrowWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoxPlot([]NamedValues{{Name: "a", Values: []float64{1}}}, 19)
+}
+
+// Every series holding one identical value: the shared axis degenerates to a
+// point and the plot must still render every label without panicking.
+func TestBoxPlotAllDegenerateSeries(t *testing.T) {
+	out := BoxPlot([]NamedValues{
+		{Name: "one", Values: []float64{5}},
+		{Name: "two", Values: []float64{5, 5, 5}},
+	}, 30)
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Fatalf("degenerate series dropped:\n%s", out)
+	}
+}
+
+// Values spanning zero: the axis labels must carry the negative minimum.
+func TestCDFPlotNegativeRange(t *testing.T) {
+	out := CDFPlot(map[string][]float64{"a": {-10, -5, 0, 5, 10}}, 40, 8)
+	if !strings.Contains(out, "-10") {
+		t.Fatalf("negative axis minimum missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o = a") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+// A mix of empty and populated series: empties are skipped, the rest plot.
+func TestCDFPlotSkipsEmptySeriesAmongFull(t *testing.T) {
+	out := CDFPlot(map[string][]float64{
+		"empty": {},
+		"full":  {1, 2, 3},
+	}, 30, 6)
+	if strings.Contains(out, "empty") {
+		t.Fatalf("empty series in legend:\n%s", out)
+	}
+	if !strings.Contains(out, "full") {
+		t.Fatalf("populated series missing:\n%s", out)
+	}
+}

@@ -1,0 +1,337 @@
+// Package audit is the simulation's runtime invariant checker: an optional
+// observer that shadows the packet-level model's flow-control and delivery
+// state and cross-checks, on every event, the physics the paper's
+// conclusions rest on:
+//
+//   - Per-VC credit conservation: reserved receiver-buffer bytes (credits in
+//     flight) never exceed the VC's buffer capacity and never go negative,
+//     and the model's occupancy always equals the auditor's independently
+//     maintained shadow count (Aries credit-based flow control, Sec. II).
+//   - Byte and packet conservation: per message, injected bytes accumulate
+//     exactly to the message total, delivered bytes never outrun injected
+//     bytes, and at a fully drained engine nothing remains in the network
+//     and every credit has been returned.
+//   - VC-class monotonicity: every computed route passes routing.Validate —
+//     local classes non-decreasing, global classes strictly sequential, hops
+//     contiguous over physical links, path ending at the destination router.
+//     This is the machine-checked witness that the channel dependency graph
+//     stays acyclic, i.e. routing is deadlock-free (Sec. III-C).
+//   - Time sanity: executed event timestamps are non-negative and monotone.
+//   - Per-flow FIFO injection: each NIC completes message injection in send
+//     order (packet-level delivery order is intentionally unordered under
+//     multipath routing; reassembly soundness is what conservation checks).
+//
+// The auditor is pure observation: it never mutates simulation state, so an
+// audited run produces bit-identical results to an unaudited one. When no
+// auditor is attached every hook site in des and network reduces to a nil
+// check — zero cost when disabled.
+package audit
+
+import (
+	"fmt"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// maxRecorded bounds the retained violation messages; the count keeps
+// incrementing past it so Err still reflects the full damage.
+const maxRecorded = 20
+
+// Stats counts the checks the auditor performed. Tests assert these are
+// non-zero so a "clean" run cannot be a silently disconnected auditor.
+type Stats struct {
+	Events           uint64 // executed DES events observed
+	Reserves         uint64 // credit claims checked
+	Releases         uint64 // credit returns checked
+	Routes           uint64 // computed paths validated
+	Messages         uint64 // messages tracked end-to-end
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	Violations       uint64
+}
+
+// Summary is the outcome of an audited run: check counts plus the first
+// recorded violations (up to maxRecorded).
+type Summary struct {
+	Stats      Stats
+	Violations []string
+}
+
+// linkShadow mirrors one directed channel's receiver-buffer state.
+type linkShadow struct {
+	kind  routing.LinkKind
+	numVC int
+	vcCap int
+	occ   []int
+}
+
+// msgShadow mirrors one in-flight message's byte accounting.
+type msgShadow struct {
+	src, dst topology.NodeID
+	total    int64
+	injected int64
+	received int64
+}
+
+// Auditor implements network.Observer plus a des event observer. One
+// Auditor serves one run; it is not safe for concurrent use (a sequential
+// DES engine drives it from one goroutine).
+type Auditor struct {
+	topo  *topology.Topology
+	links []linkShadow
+	msgs  map[uint64]*msgShadow
+	// sendOrder holds, per source node, the ids of messages queued but not
+	// yet fully injected — the FIFO the NIC must honor.
+	sendOrder map[topology.NodeID][]uint64
+
+	lastTime des.Time
+	stats    Stats
+	recorded []string
+}
+
+// New builds an auditor for a machine. Attach it with
+// Fabric.SetObserver(a) and Engine.SetObserver(a.EventExecuted) before
+// starting traffic.
+func New(topo *topology.Topology) *Auditor {
+	return &Auditor{
+		topo:      topo,
+		msgs:      make(map[uint64]*msgShadow),
+		sendOrder: make(map[topology.NodeID][]uint64),
+	}
+}
+
+func (a *Auditor) violatef(format string, args ...interface{}) {
+	a.stats.Violations++
+	if len(a.recorded) < maxRecorded {
+		a.recorded = append(a.recorded, fmt.Sprintf(format, args...))
+	}
+}
+
+// EventExecuted is the des.Engine observer: simulated time must be
+// non-negative and monotone.
+func (a *Auditor) EventExecuted(at des.Time) {
+	a.stats.Events++
+	if at < 0 {
+		a.violatef("time: negative event timestamp %d", int64(at))
+	}
+	if at < a.lastTime {
+		a.violatef("time: event at %v after event at %v (non-monotone)", at, a.lastTime)
+	}
+	a.lastTime = at
+}
+
+// LinkAdded implements network.Observer.
+func (a *Auditor) LinkAdded(linkID int, kind routing.LinkKind, numVC, vcCap int) {
+	for linkID >= len(a.links) {
+		a.links = append(a.links, linkShadow{})
+	}
+	a.links[linkID] = linkShadow{kind: kind, numVC: numVC, vcCap: vcCap, occ: make([]int, numVC)}
+}
+
+func (a *Auditor) link(linkID, vc int, op string) *linkShadow {
+	if linkID < 0 || linkID >= len(a.links) || a.links[linkID].occ == nil {
+		a.violatef("credit: %s on unknown link %d", op, linkID)
+		return nil
+	}
+	l := &a.links[linkID]
+	if vc < 0 || vc >= l.numVC {
+		a.violatef("credit: %s on link %d VC %d out of range [0,%d)", op, linkID, vc, l.numVC)
+		return nil
+	}
+	return l
+}
+
+// BufferReserve implements network.Observer: a credit claim may never push
+// occupancy past the VC buffer capacity (credits + in-flight flits must
+// equal capacity), and the model's count must match the shadow count.
+func (a *Auditor) BufferReserve(linkID, vc, bytes, occAfter int) {
+	a.stats.Reserves++
+	l := a.link(linkID, vc, "reserve")
+	if l == nil {
+		return
+	}
+	if bytes <= 0 {
+		a.violatef("credit: link %d VC %d reserved non-positive %d bytes", linkID, vc, bytes)
+	}
+	l.occ[vc] += bytes
+	if occAfter != l.occ[vc] {
+		a.violatef("credit: link %d VC %d model occupancy %d != shadow %d after reserve",
+			linkID, vc, occAfter, l.occ[vc])
+		l.occ[vc] = occAfter // resync so one fault is not reported forever
+	}
+	if l.occ[vc] > l.vcCap {
+		a.violatef("credit: link %d (%v) VC %d occupancy %d exceeds capacity %d",
+			linkID, l.kind, vc, l.occ[vc], l.vcCap)
+	}
+}
+
+// BufferRelease implements network.Observer: returns may never drive
+// occupancy negative.
+func (a *Auditor) BufferRelease(linkID, vc, bytes, occAfter int) {
+	a.stats.Releases++
+	l := a.link(linkID, vc, "release")
+	if l == nil {
+		return
+	}
+	if bytes <= 0 {
+		a.violatef("credit: link %d VC %d released non-positive %d bytes", linkID, vc, bytes)
+	}
+	l.occ[vc] -= bytes
+	if occAfter != l.occ[vc] {
+		a.violatef("credit: link %d VC %d model occupancy %d != shadow %d after release",
+			linkID, vc, occAfter, l.occ[vc])
+		l.occ[vc] = occAfter
+	}
+	if l.occ[vc] < 0 {
+		a.violatef("credit: link %d (%v) VC %d occupancy %d negative after release",
+			linkID, l.kind, vc, l.occ[vc])
+	}
+}
+
+// RouteComputed implements network.Observer: every path must be a valid,
+// terminating, VC-monotone route from src's router to dst's router — the
+// per-packet deadlock-freedom witness.
+func (a *Auditor) RouteComputed(src, dst topology.NodeID, path routing.Path) {
+	a.stats.Routes++
+	rs := a.topo.RouterOfNode(src)
+	rd := a.topo.RouterOfNode(dst)
+	if err := routing.Validate(a.topo, rs, rd, path); err != nil {
+		a.violatef("route: %d->%d (router %d->%d): %v", src, dst, rs, rd, err)
+	}
+}
+
+// MessageQueued implements network.Observer.
+func (a *Auditor) MessageQueued(msgID uint64, src, dst topology.NodeID, totalBytes int64) {
+	a.stats.Messages++
+	if totalBytes < 1 {
+		a.violatef("conservation: message %d queued with %d bytes", msgID, totalBytes)
+	}
+	if src == dst {
+		a.violatef("conservation: loopback message %d (node %d) reached the network", msgID, src)
+	}
+	if _, ok := a.msgs[msgID]; ok {
+		a.violatef("conservation: message id %d reused", msgID)
+		return
+	}
+	a.msgs[msgID] = &msgShadow{src: src, dst: dst, total: totalBytes}
+	a.sendOrder[src] = append(a.sendOrder[src], msgID)
+}
+
+// PacketInjected implements network.Observer: injected bytes accumulate
+// monotonically to exactly the message total, and messages finish injection
+// in per-NIC FIFO order.
+func (a *Auditor) PacketInjected(msgID uint64, src topology.NodeID, bytes int, injectedBytes int64) {
+	a.stats.PacketsInjected++
+	m, ok := a.msgs[msgID]
+	if !ok {
+		a.violatef("conservation: packet injected for unknown message %d", msgID)
+		return
+	}
+	if bytes <= 0 {
+		a.violatef("conservation: message %d injected non-positive packet of %d bytes", msgID, bytes)
+	}
+	m.injected += int64(bytes)
+	if injectedBytes != m.injected {
+		a.violatef("conservation: message %d model injected %d != shadow %d", msgID, injectedBytes, m.injected)
+		m.injected = injectedBytes
+	}
+	if m.injected > m.total {
+		a.violatef("conservation: message %d injected %d of %d bytes (overrun)", msgID, m.injected, m.total)
+	}
+	if m.injected >= m.total {
+		q := a.sendOrder[src]
+		switch {
+		case len(q) == 0:
+			a.violatef("fifo: node %d completed message %d with an empty send queue", src, msgID)
+		case q[0] != msgID:
+			a.violatef("fifo: node %d completed message %d before earlier message %d", src, msgID, q[0])
+		default:
+			a.sendOrder[src] = q[1:]
+		}
+	}
+}
+
+// PacketDelivered implements network.Observer: delivered bytes accumulate
+// monotonically, never outrun injected bytes, and close the message at
+// exactly the total.
+func (a *Auditor) PacketDelivered(msgID uint64, dst topology.NodeID, bytes int, receivedBytes int64) {
+	a.stats.PacketsDelivered++
+	m, ok := a.msgs[msgID]
+	if !ok {
+		a.violatef("conservation: packet delivered for unknown message %d", msgID)
+		return
+	}
+	if dst != m.dst {
+		a.violatef("conservation: message %d delivered at node %d, addressed to %d", msgID, dst, m.dst)
+	}
+	if bytes <= 0 {
+		a.violatef("conservation: message %d delivered non-positive packet of %d bytes", msgID, bytes)
+	}
+	m.received += int64(bytes)
+	if receivedBytes != m.received {
+		a.violatef("conservation: message %d model received %d != shadow %d", msgID, receivedBytes, m.received)
+		m.received = receivedBytes
+	}
+	if m.received > m.injected {
+		a.violatef("conservation: message %d delivered %d bytes but only %d injected", msgID, m.received, m.injected)
+	}
+	if m.received > m.total {
+		a.violatef("conservation: message %d received %d of %d bytes (overrun)", msgID, m.received, m.total)
+	}
+	if m.received == m.total && m.injected == m.total {
+		// Fully accounted; drop the shadow so long interference runs stay
+		// bounded in memory.
+		delete(a.msgs, msgID)
+	}
+}
+
+// Finish runs the end-of-run conservation checks. drained reports whether
+// the DES queue emptied (a run bounded by MaxSimTime legitimately leaves
+// traffic in flight, so the drain-time checks are skipped).
+func (a *Auditor) Finish(drained bool) {
+	if !drained {
+		return
+	}
+	// Drained engine, yet messages not fully delivered: traffic is stuck in
+	// the network with no event left to move it — a deadlock or an
+	// accounting leak either way.
+	reported := 0
+	for id, m := range a.msgs {
+		if reported < 3 {
+			a.violatef("drain: message %d (%d->%d) stuck: injected %d, delivered %d of %d bytes",
+				id, m.src, m.dst, m.injected, m.received, m.total)
+			reported++
+		} else {
+			a.stats.Violations++
+		}
+	}
+	// Every credit must be home: reserved receiver-buffer bytes drop to
+	// zero, i.e. credits == capacity on every VC of every channel.
+	for id, l := range a.links {
+		for vc, occ := range l.occ {
+			if occ != 0 {
+				a.violatef("drain: link %d (%v) VC %d holds %d reserved bytes after drain",
+					id, l.kind, vc, occ)
+			}
+		}
+	}
+}
+
+// Err returns nil when every check passed, or an error summarizing the
+// violations.
+func (a *Auditor) Err() error {
+	if a.stats.Violations == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d invariant violation(s); first: %s", a.stats.Violations, a.recorded[0])
+}
+
+// Summary snapshots the check counts and recorded violations.
+func (a *Auditor) Summary() Summary {
+	return Summary{
+		Stats:      a.stats,
+		Violations: append([]string(nil), a.recorded...),
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"dragonfly/internal/audit"
 	"dragonfly/internal/des"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/metrics"
@@ -46,6 +47,14 @@ type Config struct {
 	// MaxSimTime aborts a run at this simulated time (0 = unlimited); the
 	// result then carries the partial progress, with Completed = false.
 	MaxSimTime des.Time
+
+	// Audit attaches the runtime invariant auditor (package audit): credit
+	// conservation, byte/packet conservation, VC-class monotonicity, time
+	// monotonicity, and per-NIC FIFO injection are checked on every event.
+	// A violation fails the run; Result.Audit carries the check counts.
+	// Auditing observes without perturbing: results are bit-identical to an
+	// unaudited run.
+	Audit bool
 }
 
 // Name returns the paper's abbreviation for the placement x routing cell,
@@ -77,6 +86,10 @@ type Result struct {
 	// Duration is the simulated time consumed; Events the DES event count.
 	Duration des.Time
 	Events   uint64
+
+	// Audit carries the invariant auditor's check counts and any recorded
+	// violations; nil unless Config.Audit was set.
+	Audit *audit.Summary
 }
 
 // MaxCommTime returns the slowest rank's communication time.
@@ -136,6 +149,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		aud = audit.New(topo)
+		fab.SetObserver(aud)
+		eng.SetObserver(aud.EventExecuted)
+	}
 
 	nodes, err := placement.Allocate(topo, cfg.Placement, cfg.Trace.NumRanks(), root.Stream("placement"))
 	if err != nil {
@@ -186,7 +205,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	fab.FinishStats()
 
-	return &Result{
+	res := &Result{
 		Config:             cfg,
 		Completed:          rep.Done(),
 		CommTimes:          rep.CommTimes(),
@@ -197,5 +216,14 @@ func Run(cfg Config) (*Result, error) {
 		BackgroundPeakLoad: peak,
 		Duration:           eng.Now(),
 		Events:             eng.Processed(),
-	}, nil
+	}
+	if aud != nil {
+		aud.Finish(eng.Pending() == 0)
+		s := aud.Summary()
+		res.Audit = &s
+		if err := aud.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", cfg.Name(), err)
+		}
+	}
+	return res, nil
 }

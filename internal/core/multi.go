@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dragonfly/internal/audit"
 	"dragonfly/internal/des"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/metrics"
@@ -40,6 +41,8 @@ type MultiConfig struct {
 	Seed     int64
 	// MaxSimTime aborts the co-run (0 = unlimited).
 	MaxSimTime des.Time
+	// Audit attaches the runtime invariant auditor; see Config.Audit.
+	Audit bool
 }
 
 // JobResult carries one job's measurements from a co-run.
@@ -70,6 +73,8 @@ type MultiResult struct {
 	Links    []network.LinkStat
 	Duration des.Time
 	Events   uint64
+	// Audit is the invariant auditor's summary; nil unless MultiConfig.Audit.
+	Audit *audit.Summary
 }
 
 // Completed reports whether every job finished.
@@ -99,6 +104,12 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	fab, err := network.New(eng, topo, cfg.Params, cfg.Routing, root.Stream("fabric"))
 	if err != nil {
 		return nil, err
+	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		aud = audit.New(topo)
+		fab.SetObserver(aud)
+		eng.SetObserver(aud.EventExecuted)
 	}
 
 	pool := placement.NewPool(topo)
@@ -143,6 +154,14 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		Links:    fab.LinkStats(),
 		Duration: eng.Now(),
 		Events:   eng.Processed(),
+	}
+	if aud != nil {
+		aud.Finish(eng.Pending() == 0)
+		s := aud.Summary()
+		out.Audit = &s
+		if err := aud.Err(); err != nil {
+			return nil, fmt.Errorf("core: co-run: %w", err)
+		}
 	}
 	for i, rep := range replays {
 		out.Jobs = append(out.Jobs, JobResult{

@@ -68,6 +68,48 @@ func TestRunMultiTwoJobsComplete(t *testing.T) {
 	}
 }
 
+// Three jobs filling the whole mini machine: allocations must partition the
+// node set exactly — pairwise disjoint, jointly exhaustive — and every job
+// still completes while overlapping in time with the others.
+func TestRunMultiThreeJobsPartitionMachine(t *testing.T) {
+	res, err := RunMulti(multiConfig(t, []JobSpec{
+		{Name: "a", Trace: smallCR(t, 32, 16*trace.KB), Placement: placement.RandomNode},
+		{Name: "b", Trace: smallCR(t, 16, 16*trace.KB), Placement: placement.RandomRouter},
+		{Name: "c", Trace: smallCR(t, 16, 16*trace.KB), Placement: placement.Contiguous},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatal("full-machine co-run did not complete")
+	}
+	topo := topology.MustNew(topology.Mini())
+	owner := make(map[topology.NodeID]string, topo.NumNodes())
+	for _, j := range res.Jobs {
+		if len(j.Nodes) != len(j.CommTimes) {
+			t.Fatalf("job %s: %d nodes for %d ranks", j.Name, len(j.Nodes), len(j.CommTimes))
+		}
+		for _, n := range j.Nodes {
+			if prev, ok := owner[n]; ok {
+				t.Fatalf("node %d owned by both %s and %s", n, prev, j.Name)
+			}
+			owner[n] = j.Name
+		}
+	}
+	if len(owner) != topo.NumNodes() {
+		t.Fatalf("jobs cover %d of %d nodes", len(owner), topo.NumNodes())
+	}
+	// Overlap in time, not serialization: the fabric ran all three jobs
+	// concurrently, so the co-run is shorter than the jobs run back to back.
+	var sum des.Time
+	for _, j := range res.Jobs {
+		sum += j.MaxCommTime()
+	}
+	if res.Duration >= sum {
+		t.Fatalf("no temporal overlap: duration %v >= serialized %v", res.Duration, sum)
+	}
+}
+
 func TestRunMultiInterferenceVsIsolation(t *testing.T) {
 	// The bully effect: AMG co-running with a heavy CR is slower than AMG
 	// alone under the same placement and routing.

@@ -140,7 +140,15 @@ type Engine struct {
 	seq       uint64
 	processed uint64
 	running   bool
+	observer  func(Time)
 }
+
+// SetObserver installs fn to be called with the timestamp of every executed
+// event, before its handler runs. A nil fn removes the observer. The hook
+// exists for the invariant auditor (package audit), which witnesses that
+// simulated time is non-negative and monotone; it costs one nil check per
+// event when unused.
+func (e *Engine) SetObserver(fn func(Time)) { e.observer = fn }
 
 // New returns a fresh engine at time 0.
 func New() *Engine { return &Engine{} }
@@ -188,6 +196,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		ev := e.pq.pop()
 		e.now = ev.at
 		e.processed++
+		if e.observer != nil {
+			e.observer(ev.at)
+		}
 		ev.fn()
 	}
 	return e.now
@@ -201,6 +212,9 @@ func (e *Engine) Step() bool {
 	ev := e.pq.pop()
 	e.now = ev.at
 	e.processed++
+	if e.observer != nil {
+		e.observer(ev.at)
+	}
 	ev.fn()
 	return true
 }

@@ -74,6 +74,10 @@ type Options struct {
 	// scale, 4 at quick scale). Table II always reports the full,
 	// unscaled loads.
 	BurstDivisor int
+	// Audit runs every simulation under the invariant auditor
+	// (core.Config.Audit): any flow-control, conservation, or routing
+	// violation fails the experiment instead of silently skewing a figure.
+	Audit bool
 }
 
 // Runner executes experiments, caching simulation results so that figures
@@ -203,7 +207,13 @@ func (rep *Report) WriteText(w io.Writer) error {
 		line := func(cells []string) string {
 			parts := make([]string, len(cells))
 			for i, c := range cells {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+				// Ragged rows may carry more cells than the header; surplus
+				// cells print unpadded instead of indexing past widths.
+				pad := 0
+				if i < len(widths) {
+					pad = widths[i]
+				}
+				parts[i] = fmt.Sprintf("%-*s", pad, c)
 			}
 			return strings.TrimRight(strings.Join(parts, "  "), " ")
 		}
@@ -435,6 +445,7 @@ func (r *Runner) runCell(rq simReq) (*core.Result, error) {
 		Trace:     tr,
 		MsgScale:  rq.msgScale,
 		Seed:      r.opts.Seed,
+		Audit:     r.opts.Audit,
 	}
 	if rq.bg != nil {
 		b := *rq.bg

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A report table whose rows are ragged — shorter or longer than the header —
+// must render without panicking: short rows leave trailing columns blank,
+// surplus cells print unpadded at the end of their row.
+func TestWriteTextRaggedRows(t *testing.T) {
+	rep := &Report{
+		ID:    "test",
+		Title: "ragged",
+		Tables: []Table{{
+			Title:   "ragged table",
+			Columns: []string{"alpha", "b"},
+			Rows: [][]string{
+				{"1"},
+				{"2", "two"},
+				{"3", "three", "surplus-cell"},
+				{},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "surplus-cell") {
+		t.Fatalf("surplus cell dropped:\n%s", out)
+	}
+	// Column widths still come from header + in-range cells: "three" (5)
+	// widens column b, so the header row pads "b" to at least that width.
+	for _, want := range []string{"alpha", "1", "two", "three"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A table with no columns at all (only free-form rows) must render too.
+func TestWriteTextNoHeader(t *testing.T) {
+	rep := &Report{
+		ID:    "test",
+		Title: "headerless",
+		Tables: []Table{{
+			Title: "bare",
+			Rows:  [][]string{{"x", "y"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x  y") {
+		t.Fatalf("headerless row mangled:\n%s", buf.String())
+	}
+}

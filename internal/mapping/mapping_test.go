@@ -83,6 +83,48 @@ func TestAllPoliciesArePermutations(t *testing.T) {
 	}
 }
 
+// The rank -> node assignment must be invertible for every policy and
+// allocation size: node -> rank -> node is the identity over the allocation,
+// and every allocated node receives exactly one rank. Sizes cover the
+// degenerate single-rank job and the full machine.
+func TestRankNodeRoundTrip(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	for _, size := range []int{1, 2, 7, 32, topo.NumNodes()} {
+		nodes := alloc(t, topo, placement.RandomNode, size)
+		for _, p := range All() {
+			out, err := Apply(p, topo, nodes, des.NewRNG(5, "rt"))
+			if err != nil {
+				t.Fatalf("%v size %d: %v", p, size, err)
+			}
+			rankOf := make(map[topology.NodeID]int, len(out))
+			for rank, n := range out {
+				if prev, dup := rankOf[n]; dup {
+					t.Fatalf("%v size %d: node %d assigned to ranks %d and %d", p, size, n, prev, rank)
+				}
+				rankOf[n] = rank
+			}
+			for _, n := range nodes {
+				rank, ok := rankOf[n]
+				if !ok {
+					t.Fatalf("%v size %d: allocated node %d received no rank", p, size, n)
+				}
+				if out[rank] != n {
+					t.Fatalf("%v size %d: round trip broke at node %d", p, size, n)
+				}
+			}
+		}
+	}
+}
+
+// Unknown policies are rejected, never silently identity-mapped.
+func TestApplyRejectsUnknownPolicy(t *testing.T) {
+	topo := topology.MustNew(topology.Mini())
+	nodes := alloc(t, topo, placement.Contiguous, 4)
+	if _, err := Apply(Policy(99), topo, nodes, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 func TestRouterPackedPacksConsecutiveRanks(t *testing.T) {
 	topo := topology.MustNew(topology.Mini())
 	// Random-node allocation scatters; router-packed must re-pack pairs of

@@ -50,6 +50,9 @@ func (n *nic) fillInjection(l *link) {
 		bytes: bytes,
 		path:  n.f.chooser.Route(msg.src, msg.dst),
 	}
+	if n.f.obs != nil {
+		n.f.obs.RouteComputed(msg.src, msg.dst, pkt.path)
+	}
 	l.enqueue(request{pkt: pkt, vc: 0, in: nil})
 }
 
@@ -57,6 +60,9 @@ func (n *nic) fillInjection(l *link) {
 func (n *nic) injected(pkt *packet, at des.Time) {
 	msg := pkt.msg
 	msg.injected += int64(pkt.bytes)
+	if n.f.obs != nil {
+		n.f.obs.PacketInjected(msg.id, msg.src, pkt.bytes, msg.injected)
+	}
 	if msg.injected == msg.total && msg.onInjected != nil {
 		msg.onInjected(at)
 	}
@@ -71,6 +77,7 @@ type Fabric struct {
 	params Params
 
 	chooser *routing.Chooser
+	obs     Observer // nil unless an auditor is attached
 
 	links    []*link
 	nics     []*nic
@@ -183,6 +190,9 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDeliv
 		total: bytes, remaining: bytes,
 		onInjected: onInjected, onDelivered: onDelivered,
 	}
+	if f.obs != nil {
+		f.obs.MessageQueued(msg.id, src, dst, bytes)
+	}
 	n := f.nics[src]
 	n.sendq = append(n.sendq, msg)
 	f.termIn[src].kick()
@@ -265,6 +275,9 @@ func (f *Fabric) deliver(pkt *packet) {
 	f.hopSum[msg.dst] += int64(pkt.path.RoutersTraversed())
 	f.hopCount[msg.dst]++
 	msg.received += int64(pkt.bytes)
+	if f.obs != nil {
+		f.obs.PacketDelivered(msg.id, msg.dst, pkt.bytes, msg.received)
+	}
 	if msg.received == msg.total && msg.onDelivered != nil {
 		msg.onDelivered(f.eng.Now())
 	}

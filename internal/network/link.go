@@ -103,6 +103,9 @@ func (l *link) vcFull(vc int) bool {
 func (l *link) reserve(vc, n int) {
 	wasFull := l.vcFull(vc)
 	l.occ[vc] += n
+	if l.f.obs != nil {
+		l.f.obs.BufferReserve(l.id, vc, n, l.occ[vc])
+	}
 	if !wasFull && l.vcFull(vc) {
 		if l.fullVCs == 0 {
 			l.satSince = l.f.eng.Now()
@@ -116,6 +119,9 @@ func (l *link) reserve(vc, n int) {
 func (l *link) release(vc, n int) {
 	wasFull := l.vcFull(vc)
 	l.occ[vc] -= n
+	if l.f.obs != nil {
+		l.f.obs.BufferRelease(l.id, vc, n, l.occ[vc])
+	}
 	if l.occ[vc] < 0 {
 		panic("network: negative buffer occupancy")
 	}

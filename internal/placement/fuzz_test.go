@@ -1,0 +1,81 @@
+package placement_test
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/topology"
+)
+
+// FuzzPlacement: for arbitrary small machines, policies, job sizes, and
+// seeds, Allocate must either return an error (size out of range, unknown
+// policy) or a valid allocation: exactly `size` distinct in-range nodes,
+// whose complement via Remaining partitions the machine. A panic or an
+// invalid allocation is a placement bug.
+func FuzzPlacement(f *testing.F) {
+	f.Add(uint8(0), int16(1), int64(1), uint8(3), uint8(1), uint8(3), uint8(1))
+	f.Add(uint8(4), int16(64), int64(42), uint8(3), uint8(1), uint8(3), uint8(1))
+	f.Add(uint8(2), int16(0), int64(7), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(5), int16(10), int64(9), uint8(2), uint8(2), uint8(4), uint8(2))
+	f.Add(uint8(3), int16(-5), int64(3), uint8(4), uint8(0), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, polRaw uint8, size int16, seed int64, groups, rows, cols, nodesPer uint8) {
+		cfg := topology.Config{
+			Groups:            1 + int(groups)%6,
+			Rows:              1 + int(rows)%3,
+			Cols:              1 + int(cols)%5,
+			NodesPerRouter:    1 + int(nodesPer)%4,
+			ChassisPerCabinet: 1 + int(rows)%2,
+		}
+		if cfg.Groups > 1 {
+			cfg.GlobalPortsPerRouter = 1 + (cfg.Groups-2)/(cfg.Rows*cfg.Cols)
+		}
+		topo, err := topology.New(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		// polRaw%6 covers the five policies plus one invalid value, which
+		// must be rejected, never panic.
+		pol := placement.Policy(int(polRaw) % 6)
+		rng := des.NewRNG(seed, "fuzz").Stream("placement")
+		nodes, err := placement.Allocate(topo, pol, int(size), rng)
+
+		validSize := int(size) >= 1 && int(size) <= topo.NumNodes()
+		validPol := int(pol) < 5
+		if !validSize || !validPol {
+			if err == nil {
+				t.Fatalf("Allocate(%v, size=%d) on %d nodes accepted invalid input: %v",
+					pol, size, topo.NumNodes(), nodes)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Allocate(%v, size=%d) on %d nodes: %v", pol, size, topo.NumNodes(), err)
+		}
+		if len(nodes) != int(size) {
+			t.Fatalf("Allocate(%v, size=%d) returned %d nodes", pol, size, len(nodes))
+		}
+		seen := make(map[topology.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			if int(n) < 0 || int(n) >= topo.NumNodes() {
+				t.Fatalf("Allocate(%v, size=%d): node %d out of range [0,%d)", pol, size, n, topo.NumNodes())
+			}
+			if seen[n] {
+				t.Fatalf("Allocate(%v, size=%d): node %d allocated twice", pol, size, n)
+			}
+			seen[n] = true
+		}
+		// Remaining must be the exact complement: together they partition the
+		// machine (what the background-job carve-out relies on).
+		rest := placement.Remaining(topo, nodes)
+		if len(rest)+len(nodes) != topo.NumNodes() {
+			t.Fatalf("Remaining returned %d nodes for a %d-node job on %d nodes",
+				len(rest), len(nodes), topo.NumNodes())
+		}
+		for _, n := range rest {
+			if seen[n] {
+				t.Fatalf("node %d both allocated and remaining", n)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package routing_test
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+)
+
+// fuzzCong is a deterministic pseudo-random congestion oracle: it gives the
+// adaptive policy non-trivial, reproducible backlog readings so fuzzing
+// exercises the Valiant/misroute branches, not just minimal paths.
+type fuzzCong struct{ salt int64 }
+
+func (c fuzzCong) OutputBacklog(from, to topology.RouterID) int64 {
+	h := uint64(c.salt)*0x9e3779b97f4a7c15 + uint64(from)*0xbf58476d1ce4e5b9 + uint64(to)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	return int64(h % (1 << 20))
+}
+
+// fuzzTopology derives a small but structurally varied dragonfly from raw
+// fuzz bytes: 1-6 groups, 1-3 x 1-5 router grids, 1-4 nodes per router,
+// with enough global ports that every group pair is wired (the generators'
+// own precondition — unconnected pairs are a config error, not a routing
+// bug).
+func fuzzTopology(groups, rows, cols, nodesPer, extraPorts uint8) (*topology.Topology, error) {
+	cfg := topology.Config{
+		Groups:            1 + int(groups)%6,
+		Rows:              1 + int(rows)%3,
+		Cols:              1 + int(cols)%5,
+		NodesPerRouter:    1 + int(nodesPer)%4,
+		ChassisPerCabinet: 1 + int(rows)%2,
+	}
+	if cfg.Groups > 1 {
+		rpg := cfg.Rows * cfg.Cols
+		need := (cfg.Groups - 2) / rpg // ceil((Groups-1)/rpg) - adjusted below
+		cfg.GlobalPortsPerRouter = need + 1 + int(extraPorts)%3
+	}
+	return topology.New(cfg)
+}
+
+// FuzzRoute: for arbitrary machine shapes, endpoints, seeds, and routing
+// options, every computed route must terminate, traverse only physical
+// links with contiguous hops, keep VC classes monotone (the deadlock-freedom
+// witness), and end at the destination router. A panic or a Validate error
+// is a routing bug.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), true, uint8(0), uint8(2), int8(0))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint16(1), int64(7), false, uint8(0), uint8(0), int8(0))
+	f.Add(uint8(4), uint8(2), uint8(4), uint8(2), uint8(2), uint16(13), uint16(57), int64(42), true, uint8(1), uint8(3), int8(-1))
+	f.Add(uint8(5), uint8(1), uint8(2), uint8(3), uint8(1), uint16(9), uint16(9), int64(3), true, uint8(2), uint8(1), int8(100))
+	f.Add(uint8(1), uint8(2), uint8(4), uint8(1), uint8(0), uint16(5), uint16(2), int64(11), false, uint8(1), uint8(0), int8(5))
+	f.Fuzz(func(t *testing.T, groups, rows, cols, nodesPer, extraPorts uint8,
+		srcRaw, dstRaw uint16, seed int64, adaptive bool, gwPolicy, valiant uint8, bias int8) {
+		topo, err := fuzzTopology(groups, rows, cols, nodesPer, extraPorts)
+		if err != nil {
+			t.Skip()
+		}
+		if topo.NumNodes() < 2 {
+			t.Skip()
+		}
+		src := topology.NodeID(int(srcRaw) % topo.NumNodes())
+		dst := topology.NodeID(int(dstRaw) % topo.NumNodes())
+		if src == dst {
+			dst = topology.NodeID((int(dst) + 1) % topo.NumNodes())
+		}
+		mech := routing.Minimal
+		if adaptive {
+			mech = routing.Adaptive
+		}
+		opts := routing.Options{
+			Gateway:           routing.GatewayPolicy(int(gwPolicy) % 3),
+			ValiantCandidates: int(valiant) % 4,
+			MinimalBias:       int64(bias),
+		}
+		rng := des.NewRNG(seed, "fuzz").Stream("route")
+		ch := routing.NewChooserOpts(topo, mech, rng, fuzzCong{salt: seed}, opts)
+		rs, rd := topo.RouterOfNode(src), topo.RouterOfNode(dst)
+		// Route repeatedly: gateway spreading and Valiant sampling make each
+		// call a fresh random path through the option space.
+		for i := 0; i < 8; i++ {
+			p := ch.Route(src, dst)
+			if err := routing.Validate(topo, rs, rd, p); err != nil {
+				t.Fatalf("machine %+v %v opts %+v %d->%d: invalid route: %v\npath: %+v",
+					topo.Config(), mech, opts, src, dst, err, p.Hops)
+			}
+			// Termination bound: worst case is Valiant through a third group
+			// (2 local + global + 2 local to the intermediate, then again to
+			// the destination) — anything longer means the builder wandered.
+			if len(p.Hops) > 10 {
+				t.Fatalf("route %d->%d has %d hops: %+v", src, dst, len(p.Hops), p.Hops)
+			}
+			if g := p.GlobalHops(); g > routing.NumGlobalVC {
+				t.Fatalf("route %d->%d crosses %d global links (VC classes allow %d)",
+					src, dst, g, routing.NumGlobalVC)
+			}
+		}
+	})
+}
