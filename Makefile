@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench
+.PHONY: build test race fuzz-smoke bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,15 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRoute -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 
-# Refresh the in-repo performance snapshot (engine microbenches + artifact
-# regeneration benches). Commit BENCH_des.json so the perf trajectory is
-# visible in history.
+# Refresh the in-repo performance snapshot (engine/fabric/routing
+# microbenches + artifact regeneration benches). Commit BENCH_des.json so
+# the perf trajectory is visible in history.
 bench:
-	$(GO) run ./cmd/dfbench -out BENCH_des.json ./internal/des .
+	$(GO) run ./cmd/dfbench -out BENCH_des.json
+
+# Allocation-regression gate: rerun the suites and fail if any benchmark's
+# allocs/op or B/op grew >20% past the committed BENCH_des.json. The
+# allocation counts are deterministic, so this gate is machine-independent;
+# ns/op deltas print as advisory only.
+bench-diff:
+	$(GO) run ./cmd/dfbench -diff -against BENCH_des.json

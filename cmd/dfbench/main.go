@@ -4,11 +4,24 @@
 // file carries no timestamp, so a re-run on unchanged code diffs cleanly
 // apart from machine noise).
 //
+// For benchmarks that report a sim_events/op (or events/op) metric, the
+// snapshot additionally carries the derived allocs/event — the simulator's
+// allocation discipline in one number, independent of how much work a
+// single benchmark iteration happens to cover.
+//
+// With -diff, dfbench instead runs the suites fresh and compares them
+// against the committed snapshot: a >20% regression in allocs/op or B/op
+// on any shared benchmark fails the command (the allocation counts are
+// deterministic, so the gate is noise-free); ns/op changes are reported
+// but advisory only, since wall-clock shifts with the machine.
+//
 // Examples:
 //
-//	dfbench                                  # engine + artifact benches -> BENCH_des.json
+//	dfbench                                  # full suite -> BENCH_des.json
 //	dfbench -bench Queue -out queue.json ./internal/des
 //	dfbench -stdout ./internal/des           # print the snapshot instead
+//	dfbench -diff                            # regression gate vs BENCH_des.json
+//	dfbench -cpuprofile cpu.pb.gz ./internal/network
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,14 +60,28 @@ func main() {
 		benchRe = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 		out     = flag.String("out", "BENCH_des.json", "snapshot output path")
 		stdout  = flag.Bool("stdout", false, "print the snapshot to stdout instead of writing -out")
+		diff    = flag.Bool("diff", false, "run fresh and compare against -against: fail on >20% allocs/op or B/op regression (ns/op advisory)")
+		against = flag.String("against", "BENCH_des.json", "committed snapshot to diff against (with -diff)")
+		cpuProf = flag.String("cpuprofile", "", "pass -cpuprofile to go test (requires exactly one package argument)")
+		memProf = flag.String("memprofile", "", "pass -memprofile to go test (requires exactly one package argument)")
 	)
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{"./internal/des", "."}
+		pkgs = []string{"./internal/des", "./internal/network", "./internal/routing", "."}
+	}
+	if (*cpuProf != "" || *memProf != "") && len(pkgs) != 1 {
+		fatalf("-cpuprofile/-memprofile need exactly one package (go test writes one profile per binary); got %d", len(pkgs))
 	}
 
-	args := append([]string{"test", "-bench", *benchRe, "-benchmem", "-run", "^$"}, pkgs...)
+	args := []string{"test", "-bench", *benchRe, "-benchmem", "-run", "^$"}
+	if *cpuProf != "" {
+		args = append(args, "-cpuprofile", *cpuProf)
+	}
+	if *memProf != "" {
+		args = append(args, "-memprofile", *memProf)
+	}
+	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)
 	var raw bytes.Buffer
 	cmd.Stdout = &raw
@@ -76,11 +104,19 @@ func main() {
 			continue
 		}
 		if b, ok := parseBenchLine(line); ok {
+			addDerivedMetrics(&b)
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatalf("no benchmark lines in output:\n%s", raw.String())
+	}
+
+	if *diff {
+		if err := diffSnapshots(*against, snap); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -96,6 +132,105 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "dfbench: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// addDerivedMetrics computes allocs/event for benchmarks that report both an
+// allocation count and a simulated event count per iteration.
+func addDerivedMetrics(b *Benchmark) {
+	allocs, okA := b.Metrics["allocs/op"]
+	events, okE := b.Metrics["sim_events/op"]
+	if !okE {
+		events, okE = b.Metrics["events/op"]
+	}
+	if okA && okE && events > 0 {
+		b.Metrics["allocs/event"] = allocs / events
+	}
+}
+
+// diffSnapshots compares a fresh run against the committed snapshot.
+// Allocation metrics are deterministic, so they gate hard; timing is noise
+// and only advises.
+func diffSnapshots(committedPath string, fresh Snapshot) error {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		return err
+	}
+	var committed Snapshot
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("%s: %w", committedPath, err)
+	}
+
+	freshBy := map[string]Benchmark{}
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+
+	// Gates: >20% growth fails, with a small absolute slack so near-zero
+	// baselines (e.g. 0 allocs/op) don't trip on a single stray object.
+	gates := []struct {
+		metric string
+		slack  float64
+	}{
+		{"allocs/op", 2},
+		{"B/op", 64},
+	}
+
+	var failures []string
+	names := make([]string, 0, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	committedBy := map[string]Benchmark{}
+	for _, b := range committed.Benchmarks {
+		committedBy[b.Name] = b
+	}
+
+	for _, name := range names {
+		base := committedBy[name]
+		got, ok := freshBy[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: benchmark disappeared", name))
+			continue
+		}
+		for _, g := range gates {
+			want, okW := base.Metrics[g.metric]
+			have, okH := got.Metrics[g.metric]
+			if !okW || !okH {
+				continue
+			}
+			limit := want * 1.2
+			if want+g.slack > limit {
+				limit = want + g.slack
+			}
+			status := "ok"
+			if have > limit {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s %s: %.6g -> %.6g (limit %.6g)",
+					name, g.metric, want, have, limit))
+			}
+			fmt.Printf("%-40s %-10s %12.6g -> %-12.6g %s\n", name, g.metric, want, have, status)
+		}
+		if want, ok := base.Metrics["ns/op"]; ok {
+			if have, ok := got.Metrics["ns/op"]; ok && want > 0 {
+				fmt.Printf("%-40s %-10s %12.6g -> %-12.6g advisory (%+.1f%%)\n",
+					name, "ns/op", want, have, 100*(have-want)/want)
+			}
+		}
+	}
+	for _, b := range fresh.Benchmarks {
+		if _, ok := committedBy[b.Name]; !ok {
+			fmt.Printf("%-40s new benchmark (not in %s)\n", b.Name, committedPath)
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regression vs %s:\n  %s",
+			committedPath, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("dfbench: no allocation regressions vs %s (%d benchmarks compared)\n",
+		committedPath, len(names))
+	return nil
 }
 
 // parseBenchLine decodes "BenchmarkName-8  923167  1952 ns/op  370 B/op ..."

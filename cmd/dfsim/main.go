@@ -24,6 +24,7 @@ import (
 
 	"dragonfly"
 	"dragonfly/internal/ascii"
+	"dragonfly/internal/profiling"
 )
 
 func main() {
@@ -43,8 +44,20 @@ func main() {
 		describe   = flag.Bool("describe", false, "print the machine inventory (Figure 1) and exit")
 		plot       = flag.Bool("plot", false, "render ASCII comm-time box plot and channel-traffic CDFs")
 		auditOn    = flag.Bool("audit", false, "run under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	topoCfg := dragonfly.Theta()
 	if *machine == "mini" {

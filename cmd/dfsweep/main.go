@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dragonfly"
+	"dragonfly/internal/profiling"
 )
 
 func main() {
@@ -31,8 +32,20 @@ func main() {
 		burst    = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
 		parallel = flag.Int("parallel", 0, "worker pool for independent simulations (1 = sequential, 0 = NumCPU); reports are byte-identical at every setting")
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	opts := dragonfly.ExperimentOptions{
 		Seed:         *seed,

@@ -26,6 +26,40 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(n)/float64(b.N), "events/op")
 }
 
+// tickChain is the arg threaded through the typed-throughput benchmark: one
+// chain of events reusing a single preallocated struct.
+type tickChain struct {
+	e     *Engine
+	depth int
+	n     *uint64
+}
+
+func fireTick(arg any, _ Time) {
+	c := arg.(*tickChain)
+	*c.n++
+	if c.depth > 0 {
+		c.depth--
+		c.e.ScheduleCall(1, fireTick, c)
+	}
+}
+
+// BenchmarkEngineThroughputTyped measures the same event chains as
+// BenchmarkEngineThroughput through the typed (callback, arg) scheduling
+// path: no closure per event, so the loop body allocates nothing beyond the
+// event queue's amortized growth.
+func BenchmarkEngineThroughputTyped(b *testing.B) {
+	e := New()
+	var n uint64
+	chains := make([]tickChain, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chains[i] = tickChain{e: e, depth: 9, n: &n}
+		e.AtCall(Time(i), fireTick, &chains[i])
+	}
+	e.Run()
+	b.ReportMetric(float64(n)/float64(b.N), "events/op")
+}
+
 func BenchmarkRNGStream(b *testing.B) {
 	r := NewRNG(1, "bench")
 	for i := 0; i < b.N; i++ {

@@ -46,10 +46,19 @@ func (t Time) String() string {
 	}
 }
 
+// Callback is a typed event handler: a plain function pointer plus an
+// opaque argument. The engine passes the event's timestamp so handlers need
+// not capture it. Hot-path callers schedule a package-level function with a
+// pointer-shaped arg (struct pointer, func value), which heap-allocates
+// nothing; closures remain available through the At/Schedule shims for cold
+// callers.
+type Callback func(arg any, at Time)
+
 type event struct {
 	at  Time
 	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
+	cb  Callback
+	arg any
 }
 
 // before reports the strict (at, seq) priority order. seq values are unique
@@ -95,7 +104,7 @@ func (q *eventQueue) pop() event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
 	last := q.ev[n]
-	q.ev[n] = event{} // drop the fn reference so the closure can be collected
+	q.ev[n] = event{} // drop cb/arg references so their targets can be collected
 	q.ev = q.ev[:n]
 	if n > 0 {
 		q.siftDown(last)
@@ -162,22 +171,44 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of scheduled, not-yet-executed events.
 func (e *Engine) Pending() int { return e.pq.len() }
 
+// runClosure adapts a scheduled func() to the typed event shape. A func
+// value is pointer-shaped, so boxing it in the event's arg field does not
+// allocate; the closure itself is the caller's (cold-path) allocation.
+func runClosure(arg any, _ Time) { arg.(func())() }
+
 // Schedule runs fn after delay. A negative delay is an error in the caller;
 // it panics, since time cannot flow backwards in a DES.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("des: negative delay %d", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.AtCall(e.now+delay, runClosure, fn)
 }
 
-// At runs fn at absolute time t (>= Now).
+// At runs fn at absolute time t (>= Now). It is the closure-based shim over
+// AtCall: convenient for setup and cold paths, one closure allocation per
+// call when fn captures variables.
 func (e *Engine) At(t Time, fn func()) {
+	e.AtCall(t, runClosure, fn)
+}
+
+// ScheduleCall runs cb(arg, at) after delay. See AtCall.
+func (e *Engine) ScheduleCall(delay Time, cb Callback, arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	e.AtCall(e.now+delay, cb, arg)
+}
+
+// AtCall runs cb(arg, t) at absolute time t (>= Now). This is the hot-path
+// entry: with a package-level cb and a pointer-shaped arg it allocates
+// nothing beyond the amortized growth of the event queue itself.
+func (e *Engine) AtCall(t Time, cb Callback, arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, cb: cb, arg: arg})
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -199,7 +230,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if e.observer != nil {
 			e.observer(ev.at)
 		}
-		ev.fn()
+		ev.cb(ev.arg, ev.at)
 	}
 	return e.now
 }
@@ -215,6 +246,6 @@ func (e *Engine) Step() bool {
 	if e.observer != nil {
 		e.observer(ev.at)
 	}
-	ev.fn()
+	ev.cb(ev.arg, ev.at)
 	return true
 }

@@ -78,6 +78,12 @@ type Options struct {
 	// (core.Config.Audit): any flow-control, conservation, or routing
 	// violation fails the experiment instead of silently skewing a figure.
 	Audit bool
+	// DisablePooling turns off the allocation-avoidance machinery — the
+	// fabric's packet/credit free lists and the router path cache + hop
+	// arena — so every packet and route allocates fresh storage. Outputs
+	// are identical either way; the knob exists so the equivalence tests
+	// can prove it.
+	DisablePooling bool
 }
 
 // Runner executes experiments, caching simulation results so that figures
@@ -179,78 +185,104 @@ type Report struct {
 	Plots  []Plot
 }
 
-// WriteText renders the report as aligned plain text.
+// WriteText renders the report as aligned plain text. The whole report is
+// assembled in one pre-sized buffer and handed to the writer in a single
+// call: a paper-scale figure is hundreds of table rows, and per-line writes
+// both fragment the output and re-grow the destination repeatedly.
 func (rep *Report) WriteText(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "== %s: %s (scale not shown; see notes) ==\n", rep.ID, rep.Title); err != nil {
-		return err
-	}
+	// First pass: column widths per table, and a close size estimate for
+	// the rendered text (padded line length x line count per table).
+	widths := make([][]int, len(rep.Tables))
+	size := len(rep.ID) + len(rep.Title) + 48
 	for _, n := range rep.Notes {
-		if _, err := fmt.Fprintf(w, "   note: %s\n", n); err != nil {
-			return err
-		}
+		size += len(n) + len("   note: \n")
 	}
-	for _, t := range rep.Tables {
-		if _, err := fmt.Fprintf(w, "\n-- %s --\n", t.Title); err != nil {
-			return err
-		}
-		widths := make([]int, len(t.Columns))
+	for ti := range rep.Tables {
+		t := &rep.Tables[ti]
+		ws := make([]int, len(t.Columns))
 		for i, c := range t.Columns {
-			widths[i] = len(c)
+			ws[i] = len(c)
 		}
 		for _, row := range t.Rows {
 			for i, cell := range row {
-				if i < len(widths) && len(cell) > widths[i] {
-					widths[i] = len(cell)
+				if i < len(ws) && len(cell) > ws[i] {
+					ws[i] = len(cell)
 				}
 			}
 		}
+		widths[ti] = ws
+		lineLen := 2*len(ws) + 1
+		for _, wd := range ws {
+			lineLen += wd
+		}
+		size += len(t.Title) + 8 + (len(t.Rows)+1)*lineLen
+	}
+	for _, p := range rep.Plots {
+		size += len(p.Title) + 8 + len(p.Text)
+	}
+
+	var b strings.Builder
+	b.Grow(size + 1)
+	fmt.Fprintf(&b, "== %s: %s (scale not shown; see notes) ==\n", rep.ID, rep.Title)
+	for _, n := range rep.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	for ti := range rep.Tables {
+		t := &rep.Tables[ti]
+		ws := widths[ti]
+		fmt.Fprintf(&b, "\n-- %s --\n", t.Title)
 		line := func(cells []string) string {
 			parts := make([]string, len(cells))
 			for i, c := range cells {
 				// Ragged rows may carry more cells than the header; surplus
 				// cells print unpadded instead of indexing past widths.
 				pad := 0
-				if i < len(widths) {
-					pad = widths[i]
+				if i < len(ws) {
+					pad = ws[i]
 				}
 				parts[i] = fmt.Sprintf("%-*s", pad, c)
 			}
 			return strings.TrimRight(strings.Join(parts, "  "), " ")
 		}
-		if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
-			return err
-		}
+		fmt.Fprintln(&b, line(t.Columns))
 		for _, row := range t.Rows {
-			if _, err := fmt.Fprintln(w, line(row)); err != nil {
-				return err
-			}
+			fmt.Fprintln(&b, line(row))
 		}
 	}
 	for _, p := range rep.Plots {
-		if _, err := fmt.Fprintf(w, "\n-- %s --\n%s", p.Title, p.Text); err != nil {
-			return err
-		}
+		fmt.Fprintf(&b, "\n-- %s --\n%s", p.Title, p.Text)
 	}
-	_, err := fmt.Fprintln(w)
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// WriteCSV writes each table as <dir>/<id>_<slug>.csv.
+// WriteCSV writes each table as <dir>/<id>_<slug>.csv. Each file is built
+// in a buffer pre-sized to its exact byte count and written at once.
 func (rep *Report) WriteCSV(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, t := range rep.Tables {
 		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", rep.ID, slug(t.Title)))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
+		size := 0
+		for _, c := range t.Columns {
+			size += len(c) + 1
 		}
-		fmt.Fprintln(f, strings.Join(t.Columns, ","))
 		for _, row := range t.Rows {
-			fmt.Fprintln(f, strings.Join(row, ","))
+			for _, cell := range row {
+				size += len(cell) + 1
+			}
 		}
-		if err := f.Close(); err != nil {
+		var b strings.Builder
+		b.Grow(size)
+		b.WriteString(strings.Join(t.Columns, ","))
+		b.WriteByte('\n')
+		for _, row := range t.Rows {
+			b.WriteString(strings.Join(row, ","))
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 			return err
 		}
 	}
@@ -437,9 +469,14 @@ func (r *Runner) runCell(rq simReq) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	params := network.DefaultParams()
+	if r.opts.DisablePooling {
+		params.NoPacketPool = true
+		params.Route.NoCache = true
+	}
 	cfg := core.Config{
 		Topology:  r.machine(),
-		Params:    network.DefaultParams(),
+		Params:    params,
 		Placement: rq.cell.Placement,
 		Routing:   rq.cell.Routing,
 		Trace:     tr,

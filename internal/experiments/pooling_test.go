@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// The allocation machinery (packet/credit pools, path cache, hop arenas)
+// must leave every report byte untouched. Baseline: pooling on, strictly
+// sequential — the same configuration the golden suite anchors. Against it:
+// pooling forced off at worker counts 1, 2, and 4, which also proves the
+// per-worker pools don't leak state across parallel sweep cells.
+func TestPoolingReportsMatchAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates fig3 and fig8 four times each")
+	}
+	for _, id := range []string{"fig3", "fig8"} {
+		baseText, baseCSV := renderReport(t, id, 1)
+		for _, workers := range []int{1, 2, 4} {
+			text, csvs := renderReportOpts(t, id, Options{
+				Scale: ScaleQuick, Seed: 1, Parallel: workers, DisablePooling: true,
+			})
+			if text != baseText {
+				t.Errorf("%s: pooling-off parallel=%d report text differs from pooled sequential:\n%s",
+					id, workers, firstDiff(baseText, text))
+			}
+			if len(csvs) != len(baseCSV) {
+				t.Fatalf("%s: pooling-off parallel=%d wrote %d CSVs, pooled %d",
+					id, workers, len(csvs), len(baseCSV))
+			}
+			for name, want := range baseCSV {
+				if got, ok := csvs[name]; !ok {
+					t.Errorf("%s: pooling-off parallel=%d missing CSV %s", id, workers, name)
+				} else if got != want {
+					t.Errorf("%s: pooling-off parallel=%d CSV %s differs from pooled run", id, workers, name)
+				}
+			}
+		}
+	}
+}

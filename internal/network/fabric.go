@@ -22,34 +22,55 @@ type message struct {
 }
 
 // nic is a node's network interface: an injection FIFO feeding the node's
-// terminal link, and the instant-drain receive side.
+// terminal link, and the instant-drain receive side. The send queue is
+// head-indexed for the same no-realloc reason as inputQueue.
 type nic struct {
-	f     *Fabric
-	node  topology.NodeID
-	sendq []*message
+	f        *Fabric
+	node     topology.NodeID
+	sendq    []*message
+	sendHead int
+}
+
+func (n *nic) queued() int { return len(n.sendq) - n.sendHead }
+
+func (n *nic) enqueueMsg(m *message) {
+	if n.sendHead > 0 && len(n.sendq) == cap(n.sendq) && n.sendHead*2 >= len(n.sendq) {
+		c := copy(n.sendq, n.sendq[n.sendHead:])
+		for i := c; i < len(n.sendq); i++ {
+			n.sendq[i] = nil
+		}
+		n.sendq = n.sendq[:c]
+		n.sendHead = 0
+	}
+	n.sendq = append(n.sendq, m)
+}
+
+func (n *nic) dequeueMsg() {
+	n.sendq[n.sendHead] = nil
+	n.sendHead++
+	if n.sendHead == len(n.sendq) {
+		n.sendq = n.sendq[:0]
+		n.sendHead = 0
+	}
 }
 
 // fillInjection synthesizes at most one pending injection request for the
 // terminal link. The route is computed here, per packet, so adaptive
 // routing senses congestion at injection time (UGAL-L).
 func (n *nic) fillInjection(l *link) {
-	if len(l.reqs) > 0 || len(n.sendq) == 0 {
+	if len(l.reqs) > 0 || n.queued() == 0 {
 		return
 	}
-	msg := n.sendq[0]
+	msg := n.sendq[n.sendHead]
 	bytes := int(msg.remaining)
 	if bytes > n.f.params.PacketBytes {
 		bytes = n.f.params.PacketBytes
 	}
 	msg.remaining -= int64(bytes)
 	if msg.remaining == 0 {
-		n.sendq = n.sendq[1:]
+		n.dequeueMsg()
 	}
-	pkt := &packet{
-		msg:   msg,
-		bytes: bytes,
-		path:  n.f.chooser.Route(msg.src, msg.dst),
-	}
+	pkt := n.f.newPacket(msg, bytes, n.f.chooser.Route(msg.src, msg.dst))
 	if n.f.obs != nil {
 		n.f.obs.RouteComputed(msg.src, msg.dst, pkt.path)
 	}
@@ -79,21 +100,87 @@ type Fabric struct {
 	chooser *routing.Chooser
 	obs     Observer // nil unless an auditor is attached
 
-	links    []*link
-	nics     []*nic
-	termIn   []*link           // node -> router, indexed by node
-	termOut  []*link           // router -> node, indexed by node
-	routerTo map[int64][]*link // (fromRouter,toRouter) -> parallel links
+	links   []*link
+	nics    []*nic
+	termIn  []*link // node -> router, indexed by node
+	termOut []*link // router -> node, indexed by node
+
+	// Router-to-router channel lookup, the per-hop switch operation: the
+	// parallel links from router a to router b are
+	// linkFlat[linkOff[a*numRouters+b] : linkOff[a*numRouters+b+1]].
+	// A dense offset table replaces the former map[int64][]*link — no
+	// hashing and no per-bucket slice headers on the hot path.
+	numRouters int
+	linkOff    []int32
+	linkFlat   []*link
 
 	msgSeq uint64
+
+	// Free lists, recycled at delivery (packets) and on credit arrival
+	// (tokens). Each fabric is driven by one sequential engine owned by one
+	// sweep worker, so the lists need no locking; Params.NoPacketPool turns
+	// recycling off for the pooling-equivalence tests.
+	pktFree *packet
+	crFree  *creditReturn
 
 	// per-destination-node hop accounting for the paper's avg-hops metric
 	hopSum   []int64
 	hopCount []int64
 }
 
-func routerPairKey(from, to topology.RouterID) int64 {
-	return int64(from)<<32 | int64(uint32(to))
+// pairLinks returns the parallel directed channels from one router to
+// another.
+func (f *Fabric) pairLinks(from, to topology.RouterID) []*link {
+	k := int(from)*f.numRouters + int(to)
+	return f.linkFlat[f.linkOff[k]:f.linkOff[k+1]]
+}
+
+// newPacket takes a packet from the free list (or allocates one) and
+// initializes it for a fresh injection.
+func (f *Fabric) newPacket(msg *message, bytes int, path routing.Path) *packet {
+	p := f.pktFree
+	if p == nil {
+		p = &packet{f: f}
+	} else {
+		f.pktFree = p.next
+	}
+	p.msg, p.bytes, p.path, p.hop = msg, bytes, path, 0
+	p.arrLink, p.arrVC, p.next = nil, 0, nil
+	return p
+}
+
+// freePacket recycles a delivered packet: its route's hop storage goes back
+// to the chooser's arena and the struct to the free list.
+func (f *Fabric) freePacket(p *packet) {
+	f.chooser.Release(p.path)
+	p.path = routing.Path{}
+	p.msg, p.arrLink = nil, nil
+	if f.params.NoPacketPool {
+		return
+	}
+	p.next = f.pktFree
+	f.pktFree = p
+}
+
+// newCredit builds the event argument for one upstream buffer release.
+func (f *Fabric) newCredit(l *link, vc, n int) *creditReturn {
+	c := f.crFree
+	if c == nil {
+		c = &creditReturn{}
+	} else {
+		f.crFree = c.next
+	}
+	c.l, c.vc, c.n, c.next = l, int32(vc), int32(n), nil
+	return c
+}
+
+func (f *Fabric) freeCredit(c *creditReturn) {
+	c.l = nil
+	if f.params.NoPacketPool {
+		return
+	}
+	c.next = f.crFree
+	f.crFree = c
 }
 
 // New builds and wires a fabric on the given engine.
@@ -102,12 +189,12 @@ func New(eng *des.Engine, topo *topology.Topology, p Params, mech routing.Mechan
 		return nil, err
 	}
 	f := &Fabric{
-		eng:      eng,
-		topo:     topo,
-		params:   p,
-		routerTo: make(map[int64][]*link),
-		hopSum:   make([]int64, topo.NumNodes()),
-		hopCount: make([]int64, topo.NumNodes()),
+		eng:        eng,
+		topo:       topo,
+		params:     p,
+		numRouters: topo.NumRouters(),
+		hopSum:     make([]int64, topo.NumNodes()),
+		hopCount:   make([]int64, topo.NumNodes()),
 	}
 	f.chooser = routing.NewChooserOpts(topo, mech, rng.Stream("route"), f, p.Route)
 
@@ -126,25 +213,53 @@ func New(eng *des.Engine, topo *topology.Topology, p Params, mech routing.Mechan
 		f.nics[n] = &nic{f: f, node: node}
 	}
 
+	// Router-to-router links land in the dense offset table: count each
+	// ordered pair's parallel channels, prefix-sum into offsets, then create
+	// the links (locals before globals, the historical link-ID order) and
+	// drop each into its pair's slot.
+	nR := f.numRouters
+	counts := make([]int32, nR*nR+1)
+	pairIdx := func(from, to topology.RouterID) int { return int(from)*nR + int(to) }
+	for r := 0; r < nR; r++ {
+		from := topology.RouterID(r)
+		for _, to := range topo.LocalNeighbors(from) {
+			counts[pairIdx(from, to)+1]++
+		}
+	}
+	conns := topo.GlobalConns()
+	for _, c := range conns {
+		counts[pairIdx(c.A, c.B)+1]++
+		counts[pairIdx(c.B, c.A)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	f.linkOff = counts
+	f.linkFlat = make([]*link, counts[len(counts)-1])
+	cursor := make([]int32, nR*nR)
+	place := func(l *link) {
+		k := pairIdx(l.from, l.to)
+		f.linkFlat[f.linkOff[k]+cursor[k]] = l
+		cursor[k]++
+	}
+
 	// Local links: one directed link per ordered neighbor pair.
-	for r := 0; r < topo.NumRouters(); r++ {
+	for r := 0; r < nR; r++ {
 		from := topology.RouterID(r)
 		for _, to := range topo.LocalNeighbors(from) {
 			l := newLink(f, routing.Local, routing.NumLocalVC, p.LocalVCBuffer, p.LocalBandwidth, p.LocalLatency)
 			l.from, l.to = from, to
-			key := routerPairKey(from, to)
-			f.routerTo[key] = append(f.routerTo[key], l)
+			place(l)
 		}
 	}
 
 	// Global links: two directed links per bidirectional connection;
 	// parallel links between the same router pair are kept distinct.
-	for _, c := range topo.GlobalConns() {
+	for _, c := range conns {
 		for _, dir := range [][2]topology.RouterID{{c.A, c.B}, {c.B, c.A}} {
 			l := newLink(f, routing.Global, routing.NumGlobalVC, p.GlobalVCBuffer, p.GlobalBandwidth, p.GlobalLatency)
 			l.from, l.to = dir[0], dir[1]
-			key := routerPairKey(dir[0], dir[1])
-			f.routerTo[key] = append(f.routerTo[key], l)
+			place(l)
 		}
 	}
 	return f, nil
@@ -194,7 +309,7 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDeliv
 		f.obs.MessageQueued(msg.id, src, dst, bytes)
 	}
 	n := f.nics[src]
-	n.sendq = append(n.sendq, msg)
+	n.enqueueMsg(msg)
 	f.termIn[src].kick()
 }
 
@@ -211,15 +326,15 @@ func (f *Fabric) arrive(l *link, vc int, pkt *packet) {
 		pkt.hop++ // this arrival completed one router-to-router hop
 	}
 	q := &l.inq[vc]
-	q.q = append(q.q, pkt)
-	if len(q.q) == 1 {
+	q.push(pkt)
+	if q.len() == 1 {
 		f.requestNext(q)
 	}
 }
 
 // requestNext routes the head packet of an input queue to its output link.
 func (f *Fabric) requestNext(q *inputQueue) {
-	pkt := q.q[0]
+	pkt := q.headPkt()
 	here := q.link.to
 	if pkt.hop >= len(pkt.path.Hops) {
 		// Final router: eject toward the destination node.
@@ -242,7 +357,7 @@ func (f *Fabric) requestNext(q *inputQueue) {
 // pickLink resolves a hop to a physical channel; among parallel global
 // links joining the same router pair it picks the least backlogged.
 func (f *Fabric) pickLink(from, to topology.RouterID) *link {
-	ls := f.routerTo[routerPairKey(from, to)]
+	ls := f.pairLinks(from, to)
 	switch len(ls) {
 	case 0:
 		panic(fmt.Sprintf("network: no link %d->%d", from, to))
@@ -278,6 +393,7 @@ func (f *Fabric) deliver(pkt *packet) {
 	if f.obs != nil {
 		f.obs.PacketDelivered(msg.id, msg.dst, pkt.bytes, msg.received)
 	}
+	f.freePacket(pkt)
 	if msg.received == msg.total && msg.onDelivered != nil {
 		msg.onDelivered(f.eng.Now())
 	}
@@ -287,7 +403,7 @@ func (f *Fabric) deliver(pkt *packet) {
 // the directed channel(s) from one router to another.
 func (f *Fabric) OutputBacklog(from, to topology.RouterID) int64 {
 	var total int64
-	for _, l := range f.routerTo[routerPairKey(from, to)] {
+	for _, l := range f.pairLinks(from, to) {
 		total += l.load()
 	}
 	return total
@@ -343,7 +459,7 @@ func (f *Fabric) AvgHops(node topology.NodeID) (avg float64, packets int64) {
 func (f *Fabric) QueuedMessages() int {
 	n := 0
 	for _, nc := range f.nics {
-		n += len(nc.sendq)
+		n += nc.queued()
 	}
 	return n
 }

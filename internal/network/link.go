@@ -7,11 +7,60 @@ import (
 )
 
 // packet is one unit of switching: at most Params.PacketBytes of a message.
+// Packets are pooled: the fabric recycles them on a free list at delivery,
+// so steady-state switching allocates none. A packet doubles as the typed
+// event argument for its own in-flight hops (arrLink/arrVC are valid while
+// exactly one wire traversal is scheduled, which the protocol guarantees).
 type packet struct {
+	f     *Fabric
 	msg   *message
 	bytes int
 	path  routing.Path
 	hop   int // index of the next hop in path.Hops; == len(Hops) means eject
+
+	arrLink *link // link currently carrying the packet
+	arrVC   int32 // VC the packet occupies on arrLink
+	next    *packet
+}
+
+// packetArriveCB is the typed arrival event: the packet lands at the far
+// end of the link that serialized it.
+func packetArriveCB(arg any, _ des.Time) {
+	p := arg.(*packet)
+	p.f.arrive(p.arrLink, int(p.arrVC), p)
+}
+
+// packetInjectedCB is the typed injection-complete event: the packet has
+// fully left its source NIC. Injection always strictly precedes delivery,
+// so the packet cannot have been recycled.
+func packetInjectedCB(arg any, at des.Time) {
+	p := arg.(*packet)
+	p.f.nics[p.msg.src].injected(p, at)
+}
+
+// creditReturn carries one upstream buffer release over the wire latency;
+// tokens are pooled on the fabric.
+type creditReturn struct {
+	l    *link
+	vc   int32
+	n    int32
+	next *creditReturn
+}
+
+func creditReturnCB(arg any, _ des.Time) {
+	c := arg.(*creditReturn)
+	l, vc, n := c.l, int(c.vc), int(c.n)
+	l.f.freeCredit(c)
+	l.release(vc, n)
+}
+
+// linkKickCB is the typed transmitter-wakeup event.
+func linkKickCB(arg any, at des.Time) {
+	l := arg.(*link)
+	if l.kickAt == at {
+		l.kickAt = -1
+	}
+	l.transmit()
 }
 
 // request is a packet (at the head of some input queue, or fresh at a NIC)
@@ -27,10 +76,42 @@ type request struct {
 // inputQueue is the receiver-side buffer of one (link, VC): packets that
 // have fully arrived and wait to be switched onward. Buffer occupancy —
 // including in-flight reservations — is tracked by the owning link.
+//
+// The FIFO is a head-indexed slice rather than the q = q[1:] idiom: slicing
+// off the head walks the backing array forward, so at capacity every append
+// reallocates — that pattern was the simulator's single largest allocation
+// source. Popping advances head; the array resets when the queue drains and
+// compacts in place when the dead prefix reaches half the slots, so a
+// steady-state queue allocates only up to its high-water mark.
 type inputQueue struct {
 	link *link
 	vc   int
 	q    []*packet
+	head int
+}
+
+func (q *inputQueue) len() int         { return len(q.q) - q.head }
+func (q *inputQueue) headPkt() *packet { return q.q[q.head] }
+
+func (q *inputQueue) push(p *packet) {
+	if q.head > 0 && len(q.q) == cap(q.q) && q.head*2 >= len(q.q) {
+		n := copy(q.q, q.q[q.head:])
+		for i := n; i < len(q.q); i++ {
+			q.q[i] = nil
+		}
+		q.q = q.q[:n]
+		q.head = 0
+	}
+	q.q = append(q.q, p)
+}
+
+func (q *inputQueue) pop() {
+	q.q[q.head] = nil // drop the reference for the packet pool's sake
+	q.head++
+	if q.head == len(q.q) {
+		q.q = q.q[:0]
+		q.head = 0
+	}
 }
 
 // link is one directed channel: terminal (node->router), ejection
@@ -153,12 +234,7 @@ func (l *link) kick() {
 		return // an equal-or-earlier kick is already scheduled
 	}
 	l.kickAt = at
-	l.f.eng.At(at, func() {
-		if l.kickAt == at {
-			l.kickAt = -1
-		}
-		l.transmit()
-	})
+	l.f.eng.AtCall(at, linkKickCB, l)
 }
 
 // transmit runs the output arbitration: take the first queued request whose
@@ -189,25 +265,25 @@ func (l *link) transmit() {
 		l.packets++
 
 		pkt, vc := r.pkt, r.vc
-		arrival := l.busyUntil + l.latency
-		l.f.eng.At(arrival, func() { l.f.arrive(l, vc, pkt) })
+		pkt.arrLink, pkt.arrVC = l, int32(vc)
+		l.f.eng.AtCall(l.busyUntil+l.latency, packetArriveCB, pkt)
 
 		if r.in != nil {
 			// Free the upstream buffer slot the packet occupied; the credit
 			// travels back over the inbound wire.
-			up, upVC, n := r.in.link, r.in.vc, pkt.bytes
-			l.f.eng.At(now+up.latency, func() { up.release(upVC, n) })
+			up := r.in.link
+			l.f.eng.AtCall(now+up.latency, creditReturnCB,
+				l.f.newCredit(up, r.in.vc, pkt.bytes))
 			// Pop the input queue and let its next head request an output.
 			q := r.in
-			q.q = q.q[1:]
-			if len(q.q) > 0 {
+			q.pop()
+			if q.len() > 0 {
 				l.f.requestNext(q)
 			}
 		} else {
 			// Injection: the NIC finishes putting this packet on the wire
 			// when serialization ends.
-			done := l.busyUntil
-			l.f.eng.At(done, func() { l.f.nics[l.node].injected(pkt, done) })
+			l.f.eng.AtCall(l.busyUntil, packetInjectedCB, pkt)
 		}
 		if len(l.reqs) > 0 || (l.kind == routing.Terminal && !l.eject) {
 			l.kick()

@@ -1,0 +1,47 @@
+package routing
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// benchRoute measures steady-state route computation with the packet-like
+// lifecycle the fabric uses: every returned path is Released, so arena
+// recycling is in effect and the loop should allocate (close to) nothing.
+func benchRoute(b *testing.B, mech Mechanism, opts Options) {
+	topo := topology.MustNew(topology.Mini())
+	c := NewChooserOpts(topo, mech, des.NewRNG(1, "bench"), nil, opts)
+	rng := des.NewRNG(2, "pairs")
+	const pairs = 1024
+	srcs := make([]topology.NodeID, pairs)
+	dsts := make([]topology.NodeID, pairs)
+	for i := range srcs {
+		srcs[i] = topology.NodeID(rng.Intn(topo.NumNodes()))
+		for {
+			dsts[i] = topology.NodeID(rng.Intn(topo.NumNodes()))
+			if dsts[i] != srcs[i] {
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := c.Route(srcs[i%pairs], dsts[i%pairs])
+		c.Release(p)
+	}
+}
+
+func BenchmarkRouteMinimal(b *testing.B)  { benchRoute(b, Minimal, Options{}) }
+func BenchmarkRouteAdaptive(b *testing.B) { benchRoute(b, Adaptive, Options{}) }
+
+// BenchmarkRouteMinimalNoCache is the pre-pooling baseline: fresh hop
+// storage per call, kept so the cache/arena win stays visible in one run.
+func BenchmarkRouteMinimalNoCache(b *testing.B) {
+	benchRoute(b, Minimal, Options{NoCache: true})
+}
+
+func BenchmarkRouteAdaptiveNoCache(b *testing.B) {
+	benchRoute(b, Adaptive, Options{NoCache: true})
+}

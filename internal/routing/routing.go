@@ -102,6 +102,11 @@ type Hop struct {
 // routers. An empty path means both nodes share a router.
 type Path struct {
 	Hops []Hop
+	// arena marks hop storage owned by the originating Chooser's scratch
+	// arena: Chooser.Release returns it for reuse once the packet carrying
+	// the path is delivered. Cached (shared) and caller-built paths are not
+	// arena-owned, so Release ignores them.
+	arena bool
 }
 
 // RoutersTraversed counts routers visited on the way, the paper's hop
@@ -165,6 +170,12 @@ type Options struct {
 	// bias of Aries/UGAL adaptive routing. 0 means the default
 	// (DefaultMinimalBias); negative disables the bias.
 	MinimalBias int64
+	// NoCache disables the deterministic minimal-path cache and the
+	// hop-slice arena, so every Route call builds fresh storage. Routes are
+	// identical either way (only paths whose construction draws no
+	// randomness are ever cached); the knob exists for the pooling
+	// equivalence tests and for memory-vs-speed debugging.
+	NoCache bool
 }
 
 // DefaultMinimalBias is the default misrouting threshold: a non-minimal
@@ -193,6 +204,19 @@ func (o Options) valiantCandidates() int {
 	return o.ValiantCandidates
 }
 
+// maxPathHops bounds the hop count of any route the chooser builds: a
+// minimal segment is at most 2 local + 1 global + 2 local hops, and a
+// Valiant route is two such segments. Arena slices start at this capacity so
+// they never regrow.
+const maxPathHops = 12
+
+// Cache states of one (srcRouter, dstRouter) pair.
+const (
+	cacheUnknown uint8 = iota // not yet classified
+	cacheShared               // deterministic; pathCache holds the shared hops
+	cacheNever                // construction draws randomness; always rebuilt
+)
+
 // Chooser computes routes for packets.
 type Chooser struct {
 	topo *topology.Topology
@@ -201,10 +225,28 @@ type Chooser struct {
 	cong Congestion
 	opts Options
 
+	numRouters int
+
 	// nearestGW caches, per (router, destination group), the gateways of
 	// the router's group at minimal local distance — the hot lookup of
 	// every inter-group route. Built lazily per entry.
 	nearestGW [][]topology.Gateway
+
+	// pathCache[rs*numRouters+rd] holds the shared hop storage of the
+	// minimal path for pairs whose construction is deterministic (same
+	// group, or a single gateway candidate): those draw no randomness, so
+	// serving the cached copy consumes the RNG stream exactly as a rebuild
+	// would — results stay bit-identical. pathState classifies each pair
+	// lazily.
+	pathCache [][]Hop
+	pathState []uint8
+
+	// freeHops is the scratch arena: hop slices recycled from delivered
+	// packets and discarded adaptive candidates. Each Chooser belongs to one
+	// engine/fabric (one sweep worker), so access is single-threaded.
+	freeHops [][]Hop
+	// candBuf is the reusable candidate scratch of adaptivePath.
+	candBuf []Path
 }
 
 // NewChooser builds a route chooser with default Options. rng drives
@@ -219,9 +261,48 @@ func NewChooserOpts(topo *topology.Topology, mech Mechanism, rng *des.RNG, cong 
 	if cong == nil {
 		cong = zeroCongestion{}
 	}
-	return &Chooser{
+	c := &Chooser{
 		topo: topo, mech: mech, rng: rng, cong: cong, opts: opts,
-		nearestGW: make([][]topology.Gateway, topo.NumRouters()*topo.NumGroups()),
+		numRouters: topo.NumRouters(),
+		nearestGW:  make([][]topology.Gateway, topo.NumRouters()*topo.NumGroups()),
+	}
+	if !opts.NoCache {
+		n := c.numRouters * c.numRouters
+		c.pathCache = make([][]Hop, n)
+		c.pathState = make([]uint8, n)
+	}
+	return c
+}
+
+// getHops returns an empty hop slice for path construction: recycled arena
+// storage when available, fresh otherwise. With NoCache the arena is off and
+// construction appends from nil, the historical behavior.
+func (c *Chooser) getHops() []Hop {
+	if c.opts.NoCache {
+		return nil
+	}
+	if n := len(c.freeHops); n > 0 {
+		s := c.freeHops[n-1]
+		c.freeHops = c.freeHops[:n-1]
+		return s
+	}
+	return make([]Hop, 0, maxPathHops)
+}
+
+func (c *Chooser) putHops(h []Hop) {
+	if cap(h) > 0 {
+		c.freeHops = append(c.freeHops, h[:0])
+	}
+}
+
+// Release returns an arena-owned path's hop storage to the chooser for
+// reuse. Callers that keep paths alive past the packet's lifetime (tests,
+// analysis tools) simply never call it; cached and caller-built paths are
+// ignored, so Release is safe on any Path. The path must not be used after
+// Release.
+func (c *Chooser) Release(p Path) {
+	if p.arena {
+		c.putHops(p.Hops)
 	}
 }
 
@@ -346,53 +427,102 @@ func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topolog
 	return cand
 }
 
+// minimalDeterministic reports whether the minimal path rs->rd is built
+// without consuming the RNG stream: intra-group DOR never draws, and an
+// inter-group route draws only when the gateway choice varies (pickGateway
+// returns a single candidate without sampling; GatewayRandom always
+// samples). Only such paths may be cached.
+func (c *Chooser) minimalDeterministic(rs, rd topology.RouterID) bool {
+	gs := c.topo.GroupOfRouter(rs)
+	gd := c.topo.GroupOfRouter(rd)
+	if gs == gd {
+		return true
+	}
+	if c.opts.Gateway == GatewayRandom {
+		return false
+	}
+	return len(c.gatewayCandidates(rs, gs, gd)) == 1
+}
+
 func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
+	if c.pathState != nil {
+		idx := int(rs)*c.numRouters + int(rd)
+		switch c.pathState[idx] {
+		case cacheShared:
+			return Path{Hops: c.pathCache[idx]}
+		case cacheUnknown:
+			if c.minimalDeterministic(rs, rd) {
+				// Build once into dedicated storage and share it from now
+				// on; construction draws no randomness, so serving the
+				// cache is observationally identical to rebuilding.
+				var st segmentState
+				hops, _ := c.appendMinimal(nil, rs, rd, &st)
+				c.pathCache[idx] = hops
+				c.pathState[idx] = cacheShared
+				return Path{Hops: hops}
+			}
+			c.pathState[idx] = cacheNever
+		}
+	}
 	var st segmentState
-	hops, _ := c.appendMinimal(nil, rs, rd, &st)
-	return Path{Hops: hops}
+	hops, _ := c.appendMinimal(c.getHops(), rs, rd, &st)
+	return Path{Hops: hops, arena: c.pathState != nil}
 }
 
 // valiantPath routes minimally to a random intermediate router, then
 // minimally to the destination, bumping the VC class at the intermediate.
 func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
-	mid := topology.RouterID(c.rng.Intn(c.topo.NumRouters()))
+	mid := topology.RouterID(c.rng.Intn(c.numRouters))
 	if mid == rs || mid == rd {
 		return c.minimalPath(rs, rd)
 	}
 	var st segmentState
-	hops, cur := c.appendMinimal(nil, rs, mid, &st)
+	hops, cur := c.appendMinimal(c.getHops(), rs, mid, &st)
 	st.midsPassed++
 	hops, _ = c.appendMinimal(hops, cur, rd, &st)
-	return Path{Hops: hops}
+	return Path{Hops: hops, arena: c.pathState != nil}
 }
 
 // adaptivePath implements the UGAL-style choice described in the paper:
 // up to two minimal and two non-minimal candidates, scored by source-router
 // backlog toward the candidate's first hop times the candidate's length.
+// Losing candidates' hop storage goes back to the arena immediately; the
+// winner's is released by the packet's owner at delivery.
 func (c *Chooser) adaptivePath(rs, rd topology.RouterID) Path {
-	minimals := []Path{c.minimalPath(rs, rd)}
+	cands := append(c.candBuf[:0], c.minimalPath(rs, rd))
+	nMin := 1
 	if c.topo.GroupOfRouter(rs) != c.topo.GroupOfRouter(rd) {
 		// A second minimal candidate only exists when gateway choice varies.
-		minimals = append(minimals, c.minimalPath(rs, rd))
+		cands = append(cands, c.minimalPath(rs, rd))
+		nMin = 2
 	}
-	bestMin, minScore := pickBest(c, minimals)
-
 	nonMin := c.opts.valiantCandidates()
-	valiants := make([]Path, 0, nonMin)
 	for i := 0; i < nonMin; i++ {
-		valiants = append(valiants, c.valiantPath(rs, rd))
+		cands = append(cands, c.valiantPath(rs, rd))
 	}
-	bestNon, nonScore := pickBest(c, valiants)
+	c.candBuf = cands[:0]
+
+	minIdx, minScore := pickBest(c, cands[:nMin])
+	nonIdx, nonScore := pickBest(c, cands[nMin:])
+	nonIdx += nMin
 
 	// Misroute only when the non-minimal candidate wins by more than the
 	// minimal-preference bias, as Aries adaptive routing does.
+	win := minIdx
 	if nonScore+c.opts.minimalBias() < minScore {
-		return bestNon
+		win = nonIdx
 	}
-	return bestMin
+	for i := range cands {
+		// Arena-owned candidates never alias each other (cache hits are
+		// marked shared), so each loser is recycled exactly once.
+		if i != win && cands[i].arena {
+			c.putHops(cands[i].Hops)
+		}
+	}
+	return cands[win]
 }
 
-func pickBest(c *Chooser, paths []Path) (Path, int64) {
+func pickBest(c *Chooser, paths []Path) (int, int64) {
 	best := 0
 	bestScore := c.score(paths[0])
 	for i, p := range paths[1:] {
@@ -400,7 +530,7 @@ func pickBest(c *Chooser, paths []Path) (Path, int64) {
 			best, bestScore = i+1, s
 		}
 	}
-	return paths[best], bestScore
+	return best, bestScore
 }
 
 // score is backlog-at-first-hop x hop count; an empty path scores zero.
