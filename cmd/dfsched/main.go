@@ -25,7 +25,8 @@ import (
 
 func main() {
 	var (
-		machine  = flag.String("machine", "mini", "machine: theta or mini")
+		machine  = flag.String("machine", "", "deprecated alias of -topo")
+		topoName = flag.String("topo", "", "machine preset: theta, mini, dfplus, or dfplus-mini (default mini)")
 		jobs     = flag.Int("jobs", 10, "number of jobs to submit")
 		backfill = flag.Bool("backfill", true, "enable aggressive backfill")
 		place    = flag.String("placement", "cont", "placement for every job: cont, cab, chas, rotr, rand")
@@ -34,14 +35,16 @@ func main() {
 	)
 	flag.Parse()
 
-	var topoCfg topology.Config
-	switch *machine {
-	case "theta":
-		topoCfg = topology.Theta()
-	case "mini":
-		topoCfg = topology.Mini()
-	default:
-		fatalf("unknown machine %q", *machine)
+	name := *topoName
+	if name == "" {
+		name = *machine
+	}
+	if name == "" {
+		name = "mini"
+	}
+	m, err := topology.Preset(name)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	pol, err := dragonfly.ParsePlacement(*place)
 	if err != nil {
@@ -52,16 +55,16 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	topo, err := topology.New(topoCfg)
+	ic, err := m.Build()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	reqs, err := syntheticStream(*jobs, topo.NumNodes(), pol, *seed)
+	reqs, err := syntheticStream(*jobs, ic.NumNodes(), pol, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	res, err := sched.Run(sched.Config{
-		Topology: topoCfg,
+		Topology: m,
 		Params:   network.DefaultParams(),
 		Routing:  mech,
 		Seed:     *seed,

@@ -29,7 +29,8 @@ import (
 
 func main() {
 	var (
-		machine    = flag.String("machine", "theta", "machine: theta or mini")
+		machine    = flag.String("machine", "", "deprecated alias of -topo")
+		topoName   = flag.String("topo", "", "machine preset: theta, mini, dfplus, or dfplus-mini (default theta; dfplus* are extensions beyond the paper)")
 		app        = flag.String("app", "CR", "application: CR, FB, or AMG")
 		place      = flag.String("placement", "cont", "placement (comma-separated sweeps): cont, cab, chas, rotr, rand")
 		route      = flag.String("routing", "min", "routing (comma-separated sweeps): min or adp")
@@ -59,23 +60,29 @@ func main() {
 		}
 	}()
 
-	topoCfg := dragonfly.Theta()
-	if *machine == "mini" {
-		topoCfg = dragonfly.MiniTopology()
-	} else if *machine != "theta" {
-		fatalf("unknown machine %q", *machine)
+	name := *topoName
+	if name == "" {
+		name = *machine
+	}
+	if name == "" {
+		name = "theta"
+	}
+	m, err := dragonfly.TopologyPreset(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ic, err := m.Build()
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	if *describe {
-		topo, err := dragonfly.NewTopology(topoCfg)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Print(topo.Describe())
+		fmt.Print(ic.Describe())
 		return
 	}
 
-	tr, err := appTrace(*app, *machine == "mini")
+	// Small machines get proportionally shrunk application traces.
+	tr, err := appTrace(*app, ic.NumNodes() <= 256)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -104,7 +111,7 @@ func main() {
 	for _, mech := range mechs {
 		for _, pol := range pols {
 			cfg := dragonfly.Config{
-				Topology:  topoCfg,
+				Topology:  m,
 				Params:    dragonfly.DefaultParams(),
 				Placement: pol,
 				Routing:   mech,

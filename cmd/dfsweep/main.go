@@ -26,6 +26,7 @@ func main() {
 			strings.Join(dragonfly.ExperimentIDs(), ", ")+
 			"; extensions: "+strings.Join(dragonfly.ExtensionExperimentIDs(), ", ")+")")
 		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
+		topoName = flag.String("topo", "", "machine preset override: theta, mini, dfplus, or dfplus-mini (default: the scale's XC40 machine; dfplus* runs are extensions beyond the paper)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		dataDir  = flag.String("data", "", "directory for CSV output (omit to skip)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
@@ -61,6 +62,13 @@ func main() {
 		opts.Scale = dragonfly.ScalePaper
 	default:
 		fatalf("unknown scale %q (want quick or paper)", *scale)
+	}
+	if *topoName != "" {
+		m, err := dragonfly.TopologyPreset(*topoName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Machine = m
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

@@ -23,7 +23,8 @@ import (
 
 func main() {
 	var (
-		machine  = flag.String("machine", "theta", "machine: theta or mini")
+		machine  = flag.String("machine", "", "deprecated alias of -topo")
+		topoName = flag.String("topo", "", "machine preset: theta, mini, dfplus, or dfplus-mini (default theta)")
 		pairs    = flag.Int("pairs", 50, "ping-pong node pairs to sample")
 		bytes    = flag.Int("bytes", 4096, "ping payload (single packet)")
 		bisect   = flag.Int64("bisect-bytes", 512*1024, "bytes per bisection pair")
@@ -33,19 +34,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var topoCfg topology.Config
-	switch *machine {
-	case "theta":
-		topoCfg = topology.Theta()
-	case "mini":
-		topoCfg = topology.Mini()
-	default:
-		fatalf("unknown machine %q", *machine)
+	name := *topoName
+	if name == "" {
+		name = *machine
+	}
+	if name == "" {
+		name = "theta"
+	}
+	m, err := topology.Preset(name)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	params := dragonfly.DefaultParams()
 
-	fmt.Printf("ping-pong: %d pairs x %d B on %s...\n", *pairs, *bytes, *machine)
-	ping, err := validate.PingPong(topoCfg, params, *bytes, *pairs, *seed)
+	fmt.Printf("ping-pong: %d pairs x %d B on %s...\n", *pairs, *bytes, name)
+	ping, err := validate.PingPong(m, params, *bytes, *pairs, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -76,7 +79,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("bisection pairing: %d B/pair under %s routing...\n", *bisect, mech)
-	bi, err := validate.Bisection(topoCfg, params, mech, *bisect, *seed)
+	bi, err := validate.Bisection(m, params, mech, *bisect, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -54,10 +54,22 @@ const (
 
 // Machine description.
 type (
-	// TopologyConfig describes a dragonfly machine.
+	// TopologyConfig describes an XC40-style dragonfly machine.
 	TopologyConfig = topology.Config
-	// Topology is a wired machine.
+	// PlusTopologyConfig describes a two-layer Dragonfly+ machine
+	// (extension beyond the paper).
+	PlusTopologyConfig = topology.PlusConfig
+	// Topology is a wired XC40-style dragonfly machine.
 	Topology = topology.Topology
+	// DragonflyPlus is a wired Dragonfly+ machine.
+	DragonflyPlus = topology.DragonflyPlus
+	// Interconnect is the machine-neutral topology interface every layer of
+	// the simulator consumes; Topology and DragonflyPlus implement it.
+	Interconnect = topology.Interconnect
+	// Machine is a buildable machine description (a topology config);
+	// TopologyConfig and PlusTopologyConfig implement it, and Config.Topology
+	// accepts either.
+	Machine = topology.Machine
 	// NodeID identifies a compute node.
 	NodeID = topology.NodeID
 	// RouterID identifies a router.
@@ -72,8 +84,26 @@ func Theta() TopologyConfig { return topology.Theta() }
 // MiniTopology returns a small machine for tests and examples.
 func MiniTopology() TopologyConfig { return topology.Mini() }
 
-// NewTopology wires a machine.
+// PlusTopology returns a 1296-node Dragonfly+ machine (extension beyond the
+// paper; see topology.Plus).
+func PlusTopology() PlusTopologyConfig { return topology.Plus() }
+
+// PlusMiniTopology returns a small Dragonfly+ machine for tests and
+// quick-scale sweeps.
+func PlusMiniTopology() PlusTopologyConfig { return topology.PlusMini() }
+
+// NewTopology wires an XC40-style dragonfly machine.
 func NewTopology(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
+
+// NewPlusTopology wires a Dragonfly+ machine.
+func NewPlusTopology(cfg PlusTopologyConfig) (*DragonflyPlus, error) { return topology.NewPlus(cfg) }
+
+// TopologyPreset resolves a named machine: theta, mini, dfplus, or
+// dfplus-mini — the values the dfsim/dfsweep -topo flag accepts.
+func TopologyPreset(name string) (Machine, error) { return topology.Preset(name) }
+
+// TopologyPresetNames lists the registered machine names.
+func TopologyPresetNames() []string { return topology.PresetNames() }
 
 // DefaultParams returns the Theta channel parameters of Sec. II.
 func DefaultParams() NetworkParams { return network.DefaultParams() }

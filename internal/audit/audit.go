@@ -79,7 +79,7 @@ type msgShadow struct {
 // Auditor serves one run; it is not safe for concurrent use (a sequential
 // DES engine drives it from one goroutine).
 type Auditor struct {
-	topo  *topology.Topology
+	topo  topology.Interconnect
 	links []linkShadow
 	msgs  map[uint64]*msgShadow
 	// sendOrder holds, per source node, the ids of messages queued but not
@@ -94,7 +94,7 @@ type Auditor struct {
 // New builds an auditor for a machine. Attach it with
 // Fabric.SetObserver(a) and Engine.SetObserver(a.EventExecuted) before
 // starting traffic.
-func New(topo *topology.Topology) *Auditor {
+func New(topo topology.Interconnect) *Auditor {
 	return &Auditor{
 		topo:      topo,
 		msgs:      make(map[uint64]*msgShadow),

@@ -22,7 +22,7 @@ import (
 
 // Config describes one simulation run.
 type Config struct {
-	Topology topology.Config
+	Topology topology.Machine
 	Params   network.Params
 
 	Placement placement.Policy
@@ -139,7 +139,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Trace == nil {
 		return nil, fmt.Errorf("core: config has no trace")
 	}
-	topo, err := topology.New(cfg.Topology)
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: config has no machine (set Topology)")
+	}
+	topo, err := cfg.Topology.Build()
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"dragonfly/internal/placement"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/stats"
+	"dragonfly/internal/topology"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/workload"
 )
@@ -197,9 +198,16 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 	}
 	tr := miniCR(t)
 	cfg := MiniConfig(tr, Cell{placement.Contiguous, routing.Minimal}, 1)
-	cfg.Topology.Groups = 0
+	bad := cfg.Topology.(topology.Config)
+	bad.Groups = 0
+	cfg.Topology = bad
 	if _, err := Run(cfg); err == nil {
 		t.Error("accepted invalid topology")
+	}
+	cfg = MiniConfig(tr, Cell{placement.Contiguous, routing.Minimal}, 1)
+	cfg.Topology = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("accepted config without machine")
 	}
 	cfg = MiniConfig(tr, Cell{placement.Contiguous, routing.Minimal}, 1)
 	cfg.Background = &workload.BackgroundConfig{MsgBytes: 0, Interval: 1}
@@ -219,7 +227,7 @@ func TestResultChannelAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	topoCfg := res.Config.Topology
+	topoCfg := res.Config.Topology.(topology.Config)
 	wantLocal := topoCfg.Groups * topoCfg.Rows * topoCfg.Cols * ((topoCfg.Rows - 1) + (topoCfg.Cols - 1))
 	if got := len(res.LocalTraffic(false)); got != wantLocal {
 		t.Fatalf("local channel census = %d, want %d", got, wantLocal)

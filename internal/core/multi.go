@@ -34,7 +34,7 @@ type JobSpec struct {
 // MultiConfig describes a co-run of several applications sharing the
 // machine under one routing mechanism.
 type MultiConfig struct {
-	Topology topology.Config
+	Topology topology.Machine
 	Params   network.Params
 	Routing  routing.Mechanism
 	Jobs     []JobSpec
@@ -95,7 +95,10 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	if len(cfg.Jobs) == 0 {
 		return nil, fmt.Errorf("core: co-run needs at least one job")
 	}
-	topo, err := topology.New(cfg.Topology)
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: config has no machine (set Topology)")
+	}
+	topo, err := cfg.Topology.Build()
 	if err != nil {
 		return nil, err
 	}

@@ -56,6 +56,12 @@ func (s Scale) String() string {
 type Options struct {
 	Scale Scale
 	Seed  int64
+	// Machine overrides the machine the experiments run on; nil selects the
+	// scale's default XC40 dragonfly (Theta at paper scale, a shrunk
+	// Theta-like grid at quick scale). Non-default machines — e.g. the
+	// Dragonfly+ presets — are extensions beyond the paper, and reports note
+	// the machine label.
+	Machine topology.Machine
 	// DataDir, when non-empty, receives one CSV file per produced table.
 	DataDir string
 	// Progress, when non-nil, receives one line per completed simulation.
@@ -305,6 +311,11 @@ func slug(s string) string {
 // finish optionally dumps CSVs and returns the report.
 func (r *Runner) finish(rep *Report) (*Report, error) {
 	rep.Notes = append(rep.Notes, fmt.Sprintf("scale=%s seed=%d", r.opts.Scale, r.opts.Seed))
+	if r.opts.Machine != nil {
+		// Default machines add no note, keeping the paper-reproduction
+		// reports (and their golden snapshots) byte-stable.
+		rep.Notes = append(rep.Notes, fmt.Sprintf("machine=%s (extension beyond the paper)", r.opts.Machine.Label()))
+	}
 	if r.opts.DataDir != "" {
 		if err := rep.WriteCSV(r.opts.DataDir); err != nil {
 			return nil, err
@@ -324,7 +335,10 @@ func (r *Runner) progressf(format string, args ...interface{}) {
 // --- machine and application catalogs ---------------------------------------
 
 // machine returns the topology of the current scale.
-func (r *Runner) machine() topology.Config {
+func (r *Runner) machine() topology.Machine {
+	if r.opts.Machine != nil {
+		return r.opts.Machine
+	}
 	if r.opts.Scale == ScalePaper {
 		return topology.Theta()
 	}
@@ -344,6 +358,11 @@ func (r *Runner) machine() topology.Config {
 
 // appNames lists the paper's applications in presentation order.
 func appNames() []string { return []string{"CR", "FB", "AMG"} }
+
+// machineNodes returns the compute-node count of the experiment machine.
+func (r *Runner) machineNodes() int {
+	return topology.BuildMachine(r.machine()).NumNodes()
+}
 
 // appTrace generates the trace of an application at the current scale.
 // Generation is deterministic (fixed internal seeds), so every call yields an

@@ -57,10 +57,7 @@ func (r *Runner) appInterference(id, app, title string) (*Report, error) {
 	rep.Tables = append(rep.Tables, *boxU)
 	rep.Plots = append(rep.Plots, *plotU)
 
-	machineNodes := func() int {
-		m := r.machine()
-		return m.Groups * m.Rows * m.Cols * m.NodesPerRouter
-	}()
+	machineNodes := r.machineNodes()
 	tr, err := r.appTrace(app)
 	if err != nil {
 		return nil, err

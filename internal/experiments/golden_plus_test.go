@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dragonfly/internal/topology"
+)
+
+// TestGoldenDragonflyPlus anchors the Dragonfly+ extension the same way the
+// paper's figures are anchored: a fig3-style sweep (3 applications x 10
+// placement-routing cells) on the dfplus-mini machine must reproduce the
+// committed snapshot byte for byte — text and every CSV. The snapshot lives
+// in its own testdata/golden/dfplus directory so the paper-machine goldens
+// stay untouched; refresh it with the same UPDATE_GOLDEN=1 flow.
+func TestGoldenDragonflyPlus(t *testing.T) {
+	m, err := topology.Preset("dfplus-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	golden := filepath.Join(goldenDir(t), "dfplus")
+	r := NewRunner(Options{Scale: ScaleQuick, Seed: 1, DataDir: dir, Parallel: 1, Machine: m})
+	rep, err := r.Run("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareWithGolden(filepath.Join(golden, "fig3.txt"), buf.Bytes()); err != nil {
+		t.Error(err)
+	}
+
+	produced, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(produced)
+	if len(produced) == 0 {
+		t.Fatal("dfplus fig3 produced no CSVs")
+	}
+	var names []string
+	for _, p := range produced {
+		names = append(names, filepath.Base(p))
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := compareWithGolden(filepath.Join(golden, filepath.Base(p)), data); err != nil {
+			t.Error(err)
+		}
+	}
+	committed, err := filepath.Glob(filepath.Join(golden, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantNames []string
+	for _, p := range committed {
+		wantNames = append(wantNames, filepath.Base(p))
+	}
+	sort.Strings(wantNames)
+	if !updateGolden() && strings.Join(names, ",") != strings.Join(wantNames, ",") {
+		t.Errorf("dfplus CSV set %v does not match committed golden set %v", names, wantNames)
+	}
+}

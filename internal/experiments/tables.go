@@ -40,8 +40,7 @@ func (r *Runner) TableI() (*Report, error) {
 // participates, uniform-random messages are 16 KiB, and bursty per-peer
 // messages are 16 KiB for the CR run and 1 KiB for FB and AMG.
 func (r *Runner) TableII() (*Report, error) {
-	topo := r.machine()
-	machineNodes := topo.Groups * topo.Rows * topo.Cols * topo.NodesPerRouter
+	machineNodes := r.machineNodes()
 	appRanks := map[string]int{}
 	for _, app := range appNames() {
 		tr, err := r.appTrace(app)

@@ -67,7 +67,7 @@ func Parse(s string) (Policy, error) {
 // Apply returns the rank-to-node assignment for an allocation: result[i]
 // is the node of rank i. The input slice is never mutated. rng is used by
 // Shuffle only (may be nil otherwise).
-func Apply(p Policy, topo *topology.Topology, nodes []topology.NodeID, rng *des.RNG) ([]topology.NodeID, error) {
+func Apply(p Policy, topo topology.Interconnect, nodes []topology.NodeID, rng *des.RNG) ([]topology.NodeID, error) {
 	out := append([]topology.NodeID(nil), nodes...)
 	switch p {
 	case Identity:

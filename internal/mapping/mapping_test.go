@@ -6,6 +6,7 @@ import (
 	"dragonfly/internal/des"
 	"dragonfly/internal/placement"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 func alloc(t *testing.T, topo *topology.Topology, pol placement.Policy, n int) []topology.NodeID {
@@ -49,7 +50,7 @@ func TestStringParseRoundTrip(t *testing.T) {
 }
 
 func TestIdentityKeepsOrder(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := alloc(t, topo, placement.RandomNode, 20)
 	out, err := Apply(Identity, topo, nodes, nil)
 	if err != nil {
@@ -63,7 +64,7 @@ func TestIdentityKeepsOrder(t *testing.T) {
 }
 
 func TestAllPoliciesArePermutations(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := alloc(t, topo, placement.RandomNode, 30)
 	for _, p := range All() {
 		out, err := Apply(p, topo, nodes, des.NewRNG(2, "m"))
@@ -88,7 +89,7 @@ func TestAllPoliciesArePermutations(t *testing.T) {
 // and every allocated node receives exactly one rank. Sizes cover the
 // degenerate single-rank job and the full machine.
 func TestRankNodeRoundTrip(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	for _, size := range []int{1, 2, 7, 32, topo.NumNodes()} {
 		nodes := alloc(t, topo, placement.RandomNode, size)
 		for _, p := range All() {
@@ -118,7 +119,7 @@ func TestRankNodeRoundTrip(t *testing.T) {
 
 // Unknown policies are rejected, never silently identity-mapped.
 func TestApplyRejectsUnknownPolicy(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := alloc(t, topo, placement.Contiguous, 4)
 	if _, err := Apply(Policy(99), topo, nodes, nil); err == nil {
 		t.Fatal("unknown policy accepted")
@@ -126,7 +127,7 @@ func TestApplyRejectsUnknownPolicy(t *testing.T) {
 }
 
 func TestRouterPackedPacksConsecutiveRanks(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	// Random-node allocation scatters; router-packed must re-pack pairs of
 	// ranks onto shared routers wherever both nodes of a router were
 	// allocated.
@@ -144,7 +145,7 @@ func TestRouterPackedPacksConsecutiveRanks(t *testing.T) {
 }
 
 func TestGroupPackedGroupsMonotone(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := alloc(t, topo, placement.RandomNode, 40)
 	out, err := Apply(GroupPacked, topo, nodes, nil)
 	if err != nil {
@@ -158,7 +159,7 @@ func TestGroupPackedGroupsMonotone(t *testing.T) {
 }
 
 func TestShuffleNeedsRNGAndIsSeeded(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := alloc(t, topo, placement.Contiguous, 32)
 	if _, err := Apply(Shuffle, topo, nodes, nil); err == nil {
 		t.Fatal("Shuffle without RNG accepted")

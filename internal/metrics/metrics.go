@@ -26,7 +26,7 @@ func CommTimesMs(times []des.Time) []float64 {
 // RouterSet builds the set of routers serving the given nodes — the routers
 // whose channels Figs. 8-10 analyze ("routers that serve the nodes assigned
 // to the target application").
-func RouterSet(topo *topology.Topology, nodes []topology.NodeID) map[topology.RouterID]bool {
+func RouterSet(topo topology.Interconnect, nodes []topology.NodeID) map[topology.RouterID]bool {
 	set := make(map[topology.RouterID]bool, len(nodes))
 	for _, n := range nodes {
 		set[topo.RouterOfNode(n)] = true

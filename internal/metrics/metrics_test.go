@@ -7,6 +7,7 @@ import (
 	"dragonfly/internal/network"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 func TestCommTimesMs(t *testing.T) {
@@ -17,7 +18,7 @@ func TestCommTimesMs(t *testing.T) {
 }
 
 func TestRouterSet(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	nodes := []topology.NodeID{0, 1, 2, 5}
 	set := RouterSet(topo, nodes)
 	// Mini has 2 nodes per router: nodes 0,1 -> router 0; 2 -> 1; 5 -> 2.

@@ -7,6 +7,7 @@ import (
 	"dragonfly/internal/des"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 // TestSingleGroupMachine exercises a dragonfly degenerated to one group:
@@ -46,7 +47,7 @@ func TestPacketExactlyBufferSize(t *testing.T) {
 	p := DefaultParams()
 	p.PacketBytes = p.LocalVCBuffer // 8 KiB packets, 8 KiB local buffers
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f, err := New(eng, topo, p, routing.Minimal, des.NewRNG(3, "exact"))
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +68,7 @@ func TestPacketExactlyBufferSize(t *testing.T) {
 // check a bystander flow through the same router keeps moving.
 func TestVCSkippingAvoidsHeadOfLineBlocking(t *testing.T) {
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f, err := New(eng, topo, DefaultParams(), routing.Minimal, des.NewRNG(4, "hol"))
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestVCSkippingAvoidsHeadOfLineBlocking(t *testing.T) {
 // and checks that more than one parallel global link carries it.
 func TestParallelGlobalLinksShareLoad(t *testing.T) {
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f, err := New(eng, topo, DefaultParams(), routing.Minimal, des.NewRNG(5, "par"))
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +131,7 @@ func TestParallelGlobalLinksShareLoad(t *testing.T) {
 // Property: for arbitrary message mixes, every byte injected is delivered
 // and terminal traffic equals exactly twice the payload (once in, once out).
 func TestByteConservationProperty(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f := func(seed int64, sizes []uint16) bool {
 		if len(sizes) == 0 {
 			return true
@@ -180,7 +181,7 @@ func TestByteConservationProperty(t *testing.T) {
 // rounding must never let time stand still or events explode unboundedly.
 func TestManySmallMessagesOneByte(t *testing.T) {
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f, err := New(eng, topo, DefaultParams(), routing.Minimal, des.NewRNG(6, "tiny"))
 	if err != nil {
 		t.Fatal(err)

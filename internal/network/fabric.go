@@ -94,7 +94,7 @@ func (n *nic) injected(pkt *packet, at des.Time) {
 // adaptive policy can sense its own output backlogs.
 type Fabric struct {
 	eng    *des.Engine
-	topo   *topology.Topology
+	topo   topology.Interconnect
 	params Params
 
 	chooser *routing.Chooser
@@ -184,7 +184,7 @@ func (f *Fabric) freeCredit(c *creditReturn) {
 }
 
 // New builds and wires a fabric on the given engine.
-func New(eng *des.Engine, topo *topology.Topology, p Params, mech routing.Mechanism, rng *des.RNG) (*Fabric, error) {
+func New(eng *des.Engine, topo topology.Interconnect, p Params, mech routing.Mechanism, rng *des.RNG) (*Fabric, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,7 +272,7 @@ func (f *Fabric) NodeCount() int { return f.topo.NumNodes() }
 func (f *Fabric) Engine() *des.Engine { return f.eng }
 
 // Topology returns the wired machine.
-func (f *Fabric) Topology() *topology.Topology { return f.topo }
+func (f *Fabric) Topology() topology.Interconnect { return f.topo }
 
 // Params returns the channel parameters.
 func (f *Fabric) Params() Params { return f.params }

@@ -6,12 +6,13 @@ import (
 	"dragonfly/internal/des"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 func miniFabric(t *testing.T, mech routing.Mechanism, seed int64) (*Fabric, *des.Engine) {
 	t.Helper()
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f, err := New(eng, topo, DefaultParams(), mech, des.NewRNG(seed, "fabric"))
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +25,7 @@ func TestPingZeroLoadLatency(t *testing.T) {
 	// message between same-row neighbors must take exactly
 	// ser(term)+lat(term) + ser(local)+lat(local) + ser(term)+lat(term).
 	f, eng := miniFabric(t, routing.Minimal, 1)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	p := f.Params()
 	src := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
 	dst := topo.NodeAt(topo.RouterAt(0, 0, 1), 0)
@@ -51,7 +52,7 @@ func TestThroughputMatchesBottleneckBandwidth(t *testing.T) {
 	// A large transfer over one local link must sustain ~local bandwidth
 	// (local 5.25 GiB/s < terminal 16 GiB/s).
 	f, eng := miniFabric(t, routing.Minimal, 2)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	p := f.Params()
 	src := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
 	dst := topo.NodeAt(topo.RouterAt(0, 0, 1), 0)
@@ -74,7 +75,7 @@ func TestAllToOneCausesSaturation(t *testing.T) {
 	// Many senders converging on one node must exhaust some buffer: the
 	// paper's link-saturation clock must record nonzero time.
 	f, eng := miniFabric(t, routing.Minimal, 3)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	dst := topology.NodeID(0)
 	delivered := 0
 	senders := 0
@@ -99,7 +100,7 @@ func TestAllToOneCausesSaturation(t *testing.T) {
 func TestRandomTrafficAllDelivered(t *testing.T) {
 	for _, mech := range []routing.Mechanism{routing.Minimal, routing.Adaptive} {
 		f, eng := miniFabric(t, mech, 4)
-		topo := f.Topology()
+		topo := f.Topology().(*topology.Dragonfly)
 		rng := des.NewRNG(7, "traffic")
 		const msgs = 400
 		var sent, delivered int64
@@ -131,7 +132,7 @@ func TestRandomTrafficAllDelivered(t *testing.T) {
 
 func TestTrafficCountersConserveBytes(t *testing.T) {
 	f, eng := miniFabric(t, routing.Minimal, 5)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	// One inter-group message: every traversed channel must count exactly
 	// the message bytes (single-path minimal routing, one message).
 	src := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
@@ -162,7 +163,7 @@ func TestTrafficCountersConserveBytes(t *testing.T) {
 
 func TestHopAccounting(t *testing.T) {
 	f, eng := miniFabric(t, routing.Minimal, 6)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	// Same-router delivery counts one router.
 	a, b := topo.NodeAt(3, 0), topo.NodeAt(3, 1)
 	f.Send(a, b, 100, nil, nil)
@@ -180,7 +181,7 @@ func TestHopAccounting(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() (des.Time, int64) {
 		f, eng := miniFabric(t, routing.Adaptive, 42)
-		topo := f.Topology()
+		topo := f.Topology().(*topology.Dragonfly)
 		rng := des.NewRNG(99, "load")
 		for i := 0; i < 300; i++ {
 			src := topology.NodeID(rng.Intn(topo.NumNodes()))
@@ -219,7 +220,7 @@ func TestLoopbackAndZeroBytes(t *testing.T) {
 
 func TestMultiPacketMessageReassembly(t *testing.T) {
 	f, eng := miniFabric(t, routing.Adaptive, 8)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	src := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
 	dst := topo.NodeAt(topo.RouterAt(3, 1, 2), 1)
 	const bytes = 100*4096 + 123 // forces a short tail packet
@@ -240,7 +241,7 @@ func TestMultiPacketMessageReassembly(t *testing.T) {
 
 func TestInvalidParamsRejected(t *testing.T) {
 	eng := des.New()
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	p := DefaultParams()
 	p.LocalVCBuffer = 100 // smaller than a packet
 	if _, err := New(eng, topo, p, routing.Minimal, des.NewRNG(0, "x")); err == nil {
@@ -250,7 +251,7 @@ func TestInvalidParamsRejected(t *testing.T) {
 
 func TestSaturationClockClosesAtFinish(t *testing.T) {
 	f, eng := miniFabric(t, routing.Minimal, 9)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	// Saturate a path, then stop the engine early with RunUntil so some
 	// buffers are still full; FinishStats must close the open intervals.
 	dst := topology.NodeID(0)
@@ -275,7 +276,7 @@ func TestBackpressureOrderingPreserved(t *testing.T) {
 	// Messages from one NIC to one destination must be injected in FIFO
 	// order: deliveries of equal-size messages happen in send order.
 	f, eng := miniFabric(t, routing.Minimal, 10)
-	topo := f.Topology()
+	topo := f.Topology().(*topology.Dragonfly)
 	src := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
 	dst := topo.NodeAt(topo.RouterAt(0, 1, 1), 0)
 	var order []int

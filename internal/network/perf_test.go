@@ -6,6 +6,7 @@ import (
 	"dragonfly/internal/des"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 // TestThetaScaleSmoke drives modest random traffic through the full-size
@@ -15,7 +16,7 @@ func TestThetaScaleSmoke(t *testing.T) {
 		t.Skip("full-machine smoke test skipped in -short mode")
 	}
 	eng := des.New()
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	f, err := New(eng, topo, DefaultParams(), routing.Adaptive, des.NewRNG(1, "theta"))
 	if err != nil {
 		t.Fatal(err)
@@ -35,10 +36,12 @@ func TestThetaScaleSmoke(t *testing.T) {
 	t.Logf("events processed: %d, simulated time: %v", eng.Processed(), eng.Now())
 }
 
-func BenchmarkFabricRandomTraffic(b *testing.B) {
+func BenchmarkFabricRandomTraffic(b *testing.B)     { benchFabric(b, topotest.Mini(b)) }
+func BenchmarkFabricRandomTrafficPlus(b *testing.B) { benchFabric(b, topotest.PlusMini(b)) }
+
+func benchFabric(b *testing.B, topo topology.Interconnect) {
 	for i := 0; i < b.N; i++ {
 		eng := des.New()
-		topo := topology.MustNew(topology.Mini())
 		f, err := New(eng, topo, DefaultParams(), routing.Adaptive, des.NewRNG(1, "bench"))
 		if err != nil {
 			b.Fatal(err)

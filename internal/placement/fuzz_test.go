@@ -14,23 +14,44 @@ import (
 // whose complement via Remaining partitions the machine. A panic or an
 // invalid allocation is a placement bug.
 func FuzzPlacement(f *testing.F) {
-	f.Add(uint8(0), int16(1), int64(1), uint8(3), uint8(1), uint8(3), uint8(1))
-	f.Add(uint8(4), int16(64), int64(42), uint8(3), uint8(1), uint8(3), uint8(1))
-	f.Add(uint8(2), int16(0), int64(7), uint8(1), uint8(0), uint8(0), uint8(0))
-	f.Add(uint8(5), int16(10), int64(9), uint8(2), uint8(2), uint8(4), uint8(2))
-	f.Add(uint8(3), int16(-5), int64(3), uint8(4), uint8(0), uint8(1), uint8(3))
-	f.Fuzz(func(t *testing.T, polRaw uint8, size int16, seed int64, groups, rows, cols, nodesPer uint8) {
-		cfg := topology.Config{
-			Groups:            1 + int(groups)%6,
-			Rows:              1 + int(rows)%3,
-			Cols:              1 + int(cols)%5,
-			NodesPerRouter:    1 + int(nodesPer)%4,
-			ChassisPerCabinet: 1 + int(rows)%2,
+	f.Add(uint8(0), int16(1), int64(1), uint8(3), uint8(1), uint8(3), uint8(1), uint8(0))
+	f.Add(uint8(4), int16(64), int64(42), uint8(3), uint8(1), uint8(3), uint8(1), uint8(0))
+	f.Add(uint8(2), int16(0), int64(7), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(5), int16(10), int64(9), uint8(2), uint8(2), uint8(4), uint8(2), uint8(0))
+	f.Add(uint8(3), int16(-5), int64(3), uint8(4), uint8(0), uint8(1), uint8(3), uint8(0))
+	f.Add(uint8(1), int16(12), int64(4), uint8(3), uint8(2), uint8(1), uint8(2), uint8(1))
+	f.Add(uint8(4), int16(40), int64(8), uint8(4), uint8(3), uint8(2), uint8(3), uint8(1))
+	f.Add(uint8(2), int16(7), int64(21), uint8(2), uint8(1), uint8(0), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, polRaw uint8, size int16, seed int64, groups, rows, cols, nodesPer uint8, family uint8) {
+		// family selects the machine: even = XC40 dragonfly, odd = Dragonfly+.
+		var topo topology.Interconnect
+		var err error
+		if family%2 == 0 {
+			cfg := topology.Config{
+				Groups:            1 + int(groups)%6,
+				Rows:              1 + int(rows)%3,
+				Cols:              1 + int(cols)%5,
+				NodesPerRouter:    1 + int(nodesPer)%4,
+				ChassisPerCabinet: 1 + int(rows)%2,
+			}
+			if cfg.Groups > 1 {
+				cfg.GlobalPortsPerRouter = 1 + (cfg.Groups-2)/(cfg.Rows*cfg.Cols)
+			}
+			topo, err = topology.New(cfg)
+		} else {
+			cfg := topology.PlusConfig{
+				Groups:            1 + int(groups)%5,
+				Leaves:            1 + int(rows)%4,
+				Spines:            1 + int(cols)%3,
+				NodesPerLeaf:      1 + int(nodesPer)%4,
+				LeavesPerChassis:  1 + int(rows)%2,
+				ChassisPerCabinet: 1 + int(cols)%2,
+			}
+			if cfg.Groups > 1 {
+				cfg.GlobalPortsPerSpine = (cfg.Groups-1+cfg.Spines-1)/cfg.Spines + int(seed&1)
+			}
+			topo, err = topology.NewPlus(cfg)
 		}
-		if cfg.Groups > 1 {
-			cfg.GlobalPortsPerRouter = 1 + (cfg.Groups-2)/(cfg.Rows*cfg.Cols)
-		}
-		topo, err := topology.New(cfg)
 		if err != nil {
 			t.Skip()
 		}

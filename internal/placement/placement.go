@@ -76,7 +76,7 @@ func Parse(s string) (Policy, error) {
 // Allocate returns the nodes assigned to a job of size ranks on an empty
 // machine; rank i runs on the i-th returned node. The rng drives every
 // random choice, so a (policy, size, seed) triple is reproducible.
-func Allocate(topo *topology.Topology, p Policy, size int, rng *des.RNG) ([]topology.NodeID, error) {
+func Allocate(topo topology.Interconnect, p Policy, size int, rng *des.RNG) ([]topology.NodeID, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("placement: job size %d must be >= 1", size)
 	}
@@ -116,7 +116,7 @@ func Allocate(topo *topology.Topology, p Policy, size int, rng *des.RNG) ([]topo
 
 // fillUnits shuffles allocation units (cabinets, chassis, routers) and fills
 // them in shuffled order, keeping each unit's nodes contiguous.
-func fillUnits(topo *topology.Topology, size int, rng *des.RNG, units int, nodesOf func(int) []topology.NodeID) []topology.NodeID {
+func fillUnits(topo topology.Interconnect, size int, rng *des.RNG, units int, nodesOf func(int) []topology.NodeID) []topology.NodeID {
 	order := rng.Perm(units)
 	out := make([]topology.NodeID, 0, size)
 	for _, u := range order {
@@ -131,8 +131,8 @@ func fillUnits(topo *topology.Topology, size int, rng *des.RNG, units int, nodes
 	panic("placement: allocation units did not cover the machine")
 }
 
-func nodesOfRouters(topo *topology.Topology, rs []topology.RouterID) []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(rs)*topo.Config().NodesPerRouter)
+func nodesOfRouters(topo topology.Interconnect, rs []topology.RouterID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(rs)*topo.NodesPerRouter())
 	for _, r := range rs {
 		out = append(out, topo.NodesOfRouter(r)...)
 	}
@@ -141,7 +141,7 @@ func nodesOfRouters(topo *topology.Topology, rs []topology.RouterID) []topology.
 
 // Remaining returns the machine's nodes not in `used`, in ascending order —
 // the nodes the paper's synthetic background job occupies.
-func Remaining(topo *topology.Topology, used []topology.NodeID) []topology.NodeID {
+func Remaining(topo topology.Interconnect, used []topology.NodeID) []topology.NodeID {
 	taken := make([]bool, topo.NumNodes())
 	for _, n := range used {
 		taken[n] = true

@@ -6,12 +6,8 @@ import (
 
 	"dragonfly/internal/des"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
-
-func theta(t *testing.T) *topology.Topology {
-	t.Helper()
-	return topology.MustNew(topology.Theta())
-}
 
 func TestPolicyStringParseRoundTrip(t *testing.T) {
 	for _, p := range All() {
@@ -36,7 +32,7 @@ func TestPolicyStringParseRoundTrip(t *testing.T) {
 }
 
 func TestAllocateSizeAndUniqueness(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	for _, p := range All() {
 		for _, size := range []int{1, 7, 1000, topo.NumNodes()} {
 			nodes, err := Allocate(topo, p, size, des.NewRNG(1, "alloc"))
@@ -61,7 +57,7 @@ func TestAllocateSizeAndUniqueness(t *testing.T) {
 }
 
 func TestAllocateRejectsBadSizes(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	if _, err := Allocate(topo, Contiguous, 0, des.NewRNG(1, "a")); err == nil {
 		t.Error("size 0 accepted")
 	}
@@ -71,7 +67,7 @@ func TestAllocateRejectsBadSizes(t *testing.T) {
 }
 
 func TestContiguousIsPrefix(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	nodes, _ := Allocate(topo, Contiguous, 1000, des.NewRNG(1, "c"))
 	for i, n := range nodes {
 		if int(n) != i {
@@ -90,7 +86,7 @@ func TestContiguousIsPrefix(t *testing.T) {
 }
 
 func TestRandomCabinetKeepsCabinetsWholeAndContiguous(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	const size = 1000
 	nodes, _ := Allocate(topo, RandomCabinet, size, des.NewRNG(5, "cab"))
 	perCab := 48 * topo.Config().NodesPerRouter // 192 nodes
@@ -112,7 +108,7 @@ func TestRandomCabinetKeepsCabinetsWholeAndContiguous(t *testing.T) {
 }
 
 func TestRandomChassisKeepsChassisWhole(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	const size = 1000
 	nodes, _ := Allocate(topo, RandomChassis, size, des.NewRNG(6, "chas"))
 	perChas := 16 * topo.Config().NodesPerRouter // 64 nodes
@@ -131,7 +127,7 @@ func TestRandomChassisKeepsChassisWhole(t *testing.T) {
 }
 
 func TestRandomRouterKeepsRoutersWhole(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	const size = 1000
 	nodes, _ := Allocate(topo, RandomRouter, size, des.NewRNG(7, "rotr"))
 	per := topo.Config().NodesPerRouter
@@ -150,7 +146,7 @@ func TestRandomRouterKeepsRoutersWhole(t *testing.T) {
 }
 
 func TestRandomNodeSpreadsAcrossGroups(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	nodes, _ := Allocate(topo, RandomNode, 1000, des.NewRNG(8, "rand"))
 	counts := map[int]int{}
 	for _, n := range nodes {
@@ -169,7 +165,7 @@ func TestRandomNodeSpreadsAcrossGroups(t *testing.T) {
 }
 
 func TestAllocateDeterministicBySeed(t *testing.T) {
-	topo := theta(t)
+	topo := topotest.Theta(t)
 	for _, p := range All() {
 		a, _ := Allocate(topo, p, 500, des.NewRNG(11, "d"))
 		b, _ := Allocate(topo, p, 500, des.NewRNG(11, "d"))
@@ -195,7 +191,7 @@ func TestAllocateDeterministicBySeed(t *testing.T) {
 }
 
 func TestRemainingComplement(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	used, _ := Allocate(topo, RandomNode, 20, des.NewRNG(3, "r"))
 	rest := Remaining(topo, used)
 	if len(rest) != topo.NumNodes()-20 {
@@ -218,7 +214,7 @@ func TestRemainingComplement(t *testing.T) {
 // Property: any (policy, size, seed) allocation is a duplicate-free subset
 // of the machine with exactly `size` members.
 func TestAllocatePropertyMini(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f := func(policyRaw uint8, sizeRaw uint8, seed int64) bool {
 		p := All()[int(policyRaw)%len(All())]
 		size := 1 + int(sizeRaw)%topo.NumNodes()

@@ -11,13 +11,13 @@ import (
 // placed one after another — the multijob scenario of a production system
 // (Sec. IV-C motivates it; core.RunMulti uses it).
 type Pool struct {
-	topo  *topology.Topology
+	topo  topology.Interconnect
 	taken []bool
 	free  int
 }
 
 // NewPool returns a pool with every node free.
-func NewPool(topo *topology.Topology) *Pool {
+func NewPool(topo topology.Interconnect) *Pool {
 	return &Pool{
 		topo:  topo,
 		taken: make([]bool, topo.NumNodes()),

@@ -6,10 +6,11 @@ import (
 
 	"dragonfly/internal/des"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 func TestPoolAllocateMatchesEmptyMachineAllocate(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	for _, p := range All() {
 		direct, err := Allocate(topo, p, 500, des.NewRNG(3, "same"))
 		if err != nil {
@@ -29,7 +30,7 @@ func TestPoolAllocateMatchesEmptyMachineAllocate(t *testing.T) {
 }
 
 func TestPoolSequentialJobsDisjoint(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	pool := NewPool(topo)
 	rng := des.NewRNG(5, "jobs")
 	var all []topology.NodeID
@@ -55,7 +56,7 @@ func TestPoolSequentialJobsDisjoint(t *testing.T) {
 }
 
 func TestPoolContiguousSkipsTakenNodes(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	pool := NewPool(topo)
 	rng := des.NewRNG(1, "frag")
 	// Occupy nodes 0..9 with a first job.
@@ -76,7 +77,7 @@ func TestPoolContiguousSkipsTakenNodes(t *testing.T) {
 }
 
 func TestPoolReleaseReusesNodes(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	pool := NewPool(topo)
 	rng := des.NewRNG(2, "rel")
 	nodes, _ := AllocateFrom(pool, RandomNode, 40, rng)
@@ -94,7 +95,7 @@ func TestPoolReleaseReusesNodes(t *testing.T) {
 }
 
 func TestPoolRejectsOversizedJob(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	pool := NewPool(topo)
 	rng := des.NewRNG(3, "over")
 	if _, err := AllocateFrom(pool, Contiguous, 60, rng); err != nil {
@@ -109,7 +110,7 @@ func TestPoolRejectsOversizedJob(t *testing.T) {
 }
 
 func TestPoolReleasePanicsOnFreeNode(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	pool := NewPool(topo)
 	defer func() {
 		if recover() == nil {
@@ -122,7 +123,7 @@ func TestPoolReleasePanicsOnFreeNode(t *testing.T) {
 // Property: any interleaving of allocations under any policies keeps jobs
 // disjoint and the free count consistent.
 func TestPoolInvariantProperty(t *testing.T) {
-	topo := topology.MustNew(topology.Mini())
+	topo := topotest.Mini(t)
 	f := func(sizes []uint8, polRaw []uint8, seed int64) bool {
 		pool := NewPool(topo)
 		rng := des.NewRNG(seed, "prop")

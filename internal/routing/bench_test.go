@@ -5,13 +5,13 @@ import (
 
 	"dragonfly/internal/des"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
 
 // benchRoute measures steady-state route computation with the packet-like
 // lifecycle the fabric uses: every returned path is Released, so arena
 // recycling is in effect and the loop should allocate (close to) nothing.
-func benchRoute(b *testing.B, mech Mechanism, opts Options) {
-	topo := topology.MustNew(topology.Mini())
+func benchRoute(b *testing.B, topo topology.Interconnect, mech Mechanism, opts Options) {
 	c := NewChooserOpts(topo, mech, des.NewRNG(1, "bench"), nil, opts)
 	rng := des.NewRNG(2, "pairs")
 	const pairs = 1024
@@ -33,15 +33,26 @@ func benchRoute(b *testing.B, mech Mechanism, opts Options) {
 	}
 }
 
-func BenchmarkRouteMinimal(b *testing.B)  { benchRoute(b, Minimal, Options{}) }
-func BenchmarkRouteAdaptive(b *testing.B) { benchRoute(b, Adaptive, Options{}) }
+func BenchmarkRouteMinimal(b *testing.B)  { benchRoute(b, topotest.Mini(b), Minimal, Options{}) }
+func BenchmarkRouteAdaptive(b *testing.B) { benchRoute(b, topotest.Mini(b), Adaptive, Options{}) }
+
+// Dragonfly+ equivalents: the SPI promises the same zero-allocation route
+// hot path regardless of machine, so these sit in the default dfbench set
+// next to the XC40 numbers.
+func BenchmarkRoutePlusMinimal(b *testing.B) {
+	benchRoute(b, topotest.PlusMini(b), Minimal, Options{})
+}
+
+func BenchmarkRoutePlusAdaptive(b *testing.B) {
+	benchRoute(b, topotest.PlusMini(b), Adaptive, Options{})
+}
 
 // BenchmarkRouteMinimalNoCache is the pre-pooling baseline: fresh hop
 // storage per call, kept so the cache/arena win stays visible in one run.
 func BenchmarkRouteMinimalNoCache(b *testing.B) {
-	benchRoute(b, Minimal, Options{NoCache: true})
+	benchRoute(b, topotest.Mini(b), Minimal, Options{NoCache: true})
 }
 
 func BenchmarkRouteAdaptiveNoCache(b *testing.B) {
-	benchRoute(b, Adaptive, Options{NoCache: true})
+	benchRoute(b, topotest.Mini(b), Adaptive, Options{NoCache: true})
 }

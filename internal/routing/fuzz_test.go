@@ -42,20 +42,50 @@ func fuzzTopology(groups, rows, cols, nodesPer, extraPorts uint8) (*topology.Top
 	return topology.New(cfg)
 }
 
+// fuzzPlusTopology derives a small Dragonfly+ machine from the same raw
+// bytes: 1-5 groups of 1-4 leaves x 1-3 spines with 1-4 nodes per leaf, and
+// enough spine global ports that every group pair gets a gateway (the
+// routing generators' precondition, as for the XC40 shape above).
+func fuzzPlusTopology(groups, rows, cols, nodesPer, extraPorts uint8) (*topology.DragonflyPlus, error) {
+	cfg := topology.PlusConfig{
+		Groups:            1 + int(groups)%5,
+		Leaves:            1 + int(rows)%4,
+		Spines:            1 + int(cols)%3,
+		NodesPerLeaf:      1 + int(nodesPer)%4,
+		LeavesPerChassis:  1 + int(rows)%2,
+		ChassisPerCabinet: 1 + int(cols)%2,
+	}
+	if cfg.Groups > 1 {
+		need := (cfg.Groups - 1 + cfg.Spines - 1) / cfg.Spines // ceil((Groups-1)/Spines)
+		cfg.GlobalPortsPerSpine = need + int(extraPorts)%3
+	}
+	return topology.NewPlus(cfg)
+}
+
 // FuzzRoute: for arbitrary machine shapes, endpoints, seeds, and routing
 // options, every computed route must terminate, traverse only physical
 // links with contiguous hops, keep VC classes monotone (the deadlock-freedom
 // witness), and end at the destination router. A panic or a Validate error
 // is a routing bug.
 func FuzzRoute(f *testing.F) {
-	f.Add(uint8(3), uint8(1), uint8(3), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), true, uint8(0), uint8(2), int8(0))
-	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint16(1), int64(7), false, uint8(0), uint8(0), int8(0))
-	f.Add(uint8(4), uint8(2), uint8(4), uint8(2), uint8(2), uint16(13), uint16(57), int64(42), true, uint8(1), uint8(3), int8(-1))
-	f.Add(uint8(5), uint8(1), uint8(2), uint8(3), uint8(1), uint16(9), uint16(9), int64(3), true, uint8(2), uint8(1), int8(100))
-	f.Add(uint8(1), uint8(2), uint8(4), uint8(1), uint8(0), uint16(5), uint16(2), int64(11), false, uint8(1), uint8(0), int8(5))
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), true, uint8(0), uint8(2), int8(0), uint8(0))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(0), uint16(1), int64(7), false, uint8(0), uint8(0), int8(0), uint8(0))
+	f.Add(uint8(4), uint8(2), uint8(4), uint8(2), uint8(2), uint16(13), uint16(57), int64(42), true, uint8(1), uint8(3), int8(-1), uint8(0))
+	f.Add(uint8(5), uint8(1), uint8(2), uint8(3), uint8(1), uint16(9), uint16(9), int64(3), true, uint8(2), uint8(1), int8(100), uint8(0))
+	f.Add(uint8(1), uint8(2), uint8(4), uint8(1), uint8(0), uint16(5), uint16(2), int64(11), false, uint8(1), uint8(0), int8(5), uint8(0))
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), true, uint8(0), uint8(2), int8(0), uint8(1))
+	f.Add(uint8(4), uint8(3), uint8(1), uint8(2), uint8(1), uint16(13), uint16(57), int64(42), true, uint8(1), uint8(3), int8(-1), uint8(1))
+	f.Add(uint8(2), uint8(0), uint8(2), uint8(3), uint8(2), uint16(9), uint16(3), int64(3), false, uint8(2), uint8(1), int8(7), uint8(1))
 	f.Fuzz(func(t *testing.T, groups, rows, cols, nodesPer, extraPorts uint8,
-		srcRaw, dstRaw uint16, seed int64, adaptive bool, gwPolicy, valiant uint8, bias int8) {
-		topo, err := fuzzTopology(groups, rows, cols, nodesPer, extraPorts)
+		srcRaw, dstRaw uint16, seed int64, adaptive bool, gwPolicy, valiant uint8, bias int8, family uint8) {
+		// family selects the machine: even = XC40 dragonfly, odd = Dragonfly+.
+		var topo topology.Interconnect
+		var err error
+		if family%2 == 0 {
+			topo, err = fuzzTopology(groups, rows, cols, nodesPer, extraPorts)
+		} else {
+			topo, err = fuzzPlusTopology(groups, rows, cols, nodesPer, extraPorts)
+		}
 		if err != nil {
 			t.Skip()
 		}
@@ -84,8 +114,8 @@ func FuzzRoute(f *testing.F) {
 		for i := 0; i < 8; i++ {
 			p := ch.Route(src, dst)
 			if err := routing.Validate(topo, rs, rd, p); err != nil {
-				t.Fatalf("machine %+v %v opts %+v %d->%d: invalid route: %v\npath: %+v",
-					topo.Config(), mech, opts, src, dst, err, p.Hops)
+				t.Fatalf("machine %s %v opts %+v %d->%d: invalid route: %v\npath: %+v",
+					topo.Name(), mech, opts, src, dst, err, p.Hops)
 			}
 			// Termination bound: worst case is Valiant through a third group
 			// (2 local + global + 2 local to the intermediate, then again to

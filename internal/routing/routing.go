@@ -217,15 +217,31 @@ const (
 	cacheNever                // construction draws randomness; always rebuilt
 )
 
-// Chooser computes routes for packets.
+// Chooser computes routes for packets. It consumes the machine through the
+// topology.Interconnect seam, but only at construction: the per-route code
+// runs entirely on the dense tables below (plus the lazily built caches), so
+// a new topology implementation pays no per-event interface-dispatch cost
+// and cannot perturb the hot path.
 type Chooser struct {
-	topo *topology.Topology
+	topo topology.Interconnect
 	mech Mechanism
 	rng  *des.RNG
 	cong Congestion
 	opts Options
 
-	numRouters int
+	numRouters      int
+	numGroups       int
+	routersPerGroup int
+
+	// routerOf[n] is the router of node n; groupOf[r] the group of router r.
+	routerOf []topology.RouterID
+	groupOf  []int32
+	// nextHop[(g*R+i)*R+j] is the canonical next router from the i-th to the
+	// j-th router of group g (R = routersPerGroup) — the machine's
+	// LocalNextHop flattened, so intra-group segments are pure table walks.
+	nextHop []topology.RouterID
+	// valiant enumerates the eligible Valiant intermediate routers.
+	valiant []topology.RouterID
 
 	// nearestGW caches, per (router, destination group), the gateways of
 	// the router's group at minimal local distance — the hot lookup of
@@ -252,19 +268,46 @@ type Chooser struct {
 // NewChooser builds a route chooser with default Options. rng drives
 // gateway and Valiant sampling; cong may be nil (treated as an idle
 // network), which makes Adaptive always pick minimal paths.
-func NewChooser(topo *topology.Topology, mech Mechanism, rng *des.RNG, cong Congestion) *Chooser {
+func NewChooser(topo topology.Interconnect, mech Mechanism, rng *des.RNG, cong Congestion) *Chooser {
 	return NewChooserOpts(topo, mech, rng, cong, Options{})
 }
 
-// NewChooserOpts builds a route chooser with explicit Options.
-func NewChooserOpts(topo *topology.Topology, mech Mechanism, rng *des.RNG, cong Congestion, opts Options) *Chooser {
+// NewChooserOpts builds a route chooser with explicit Options, resolving the
+// machine's node attachment, group membership, canonical intra-group next
+// hops, and Valiant intermediates into dense tables.
+func NewChooserOpts(topo topology.Interconnect, mech Mechanism, rng *des.RNG, cong Congestion, opts Options) *Chooser {
 	if cong == nil {
 		cong = zeroCongestion{}
 	}
 	c := &Chooser{
 		topo: topo, mech: mech, rng: rng, cong: cong, opts: opts,
 		numRouters: topo.NumRouters(),
+		numGroups:  topo.NumGroups(),
 		nearestGW:  make([][]topology.Gateway, topo.NumRouters()*topo.NumGroups()),
+	}
+	c.routersPerGroup = c.numRouters / c.numGroups
+	c.routerOf = make([]topology.RouterID, topo.NumNodes())
+	for n := range c.routerOf {
+		c.routerOf[n] = topo.RouterOfNode(topology.NodeID(n))
+	}
+	c.groupOf = make([]int32, c.numRouters)
+	for r := range c.groupOf {
+		c.groupOf[r] = int32(topo.GroupOfRouter(topology.RouterID(r)))
+	}
+	rpg := c.routersPerGroup
+	c.nextHop = make([]topology.RouterID, c.numGroups*rpg*rpg)
+	for g := 0; g < c.numGroups; g++ {
+		base := g * rpg
+		for i := 0; i < rpg; i++ {
+			for j := 0; j < rpg; j++ {
+				c.nextHop[(g*rpg+i)*rpg+j] = topo.LocalNextHop(
+					topology.RouterID(base+i), topology.RouterID(base+j))
+			}
+		}
+	}
+	c.valiant = make([]topology.RouterID, topo.NumValiantRouters())
+	for i := range c.valiant {
+		c.valiant[i] = topo.ValiantRouter(i)
 	}
 	if !opts.NoCache {
 		n := c.numRouters * c.numRouters
@@ -308,8 +351,8 @@ func (c *Chooser) Release(p Path) {
 
 // Route computes the path for a packet from src to dst node.
 func (c *Chooser) Route(src, dst topology.NodeID) Path {
-	rs := c.topo.RouterOfNode(src)
-	rd := c.topo.RouterOfNode(dst)
+	rs := c.routerOf[src]
+	rd := c.routerOf[dst]
 	if rs == rd {
 		return Path{}
 	}
@@ -323,22 +366,17 @@ func (c *Chooser) Route(src, dst topology.NodeID) Path {
 	}
 }
 
-// appendLocalDOR appends the row-first-then-column intra-group segment from
-// cur to dst (same group) using the given local VC class, returning dst.
+// appendLocalDOR appends the machine's canonical minimal intra-group segment
+// from cur to dst (same group) using the given local VC class, returning
+// dst. The segment is the nextHop table walked to the destination — on the
+// XC40 grid that is the historical row-first-then-column dimension order.
 func (c *Chooser) appendLocalDOR(hops []Hop, cur, dst topology.RouterID, class uint8) ([]Hop, topology.RouterID) {
-	if cur == dst {
-		return hops, cur
-	}
-	cc := c.topo.RouterCoord(cur)
-	cd := c.topo.RouterCoord(dst)
-	if cc.Col != cd.Col {
-		mid := c.topo.RouterAt(cc.Group, cc.Row, cd.Col)
-		hops = append(hops, Hop{From: cur, To: mid, Kind: Local, VC: class})
-		cur = mid
-	}
-	if cur != dst {
-		hops = append(hops, Hop{From: cur, To: dst, Kind: Local, VC: class})
-		cur = dst
+	for cur != dst {
+		// Table layout (g*R+i)*R+j collapses to cur*R + (dst - g*R).
+		base := int(c.groupOf[cur]) * c.routersPerGroup
+		next := c.nextHop[int(cur)*c.routersPerGroup+int(dst)-base]
+		hops = append(hops, Hop{From: cur, To: next, Kind: Local, VC: class})
+		cur = next
 	}
 	return hops, cur
 }
@@ -355,20 +393,16 @@ func (s segmentState) globalClass() uint8 { return uint8(s.globalHops) }
 // appendMinimal appends a minimal route from cur to dst given the current
 // VC-class state, updating the state across global hops.
 func (c *Chooser) appendMinimal(hops []Hop, cur, dst topology.RouterID, st *segmentState) ([]Hop, topology.RouterID) {
-	gs := c.topo.GroupOfRouter(cur)
-	gd := c.topo.GroupOfRouter(dst)
+	gs := int(c.groupOf[cur])
+	gd := int(c.groupOf[dst])
 	if gs == gd {
 		return c.appendLocalDOR(hops, cur, dst, st.localClass())
 	}
 	gw := c.pickGateway(cur, gs, gd)
 	hops, cur = c.appendLocalDOR(hops, cur, gw.Router, st.localClass())
-	peer, _, ok := c.topo.GlobalPeer(gw.Router, gw.Port)
-	if !ok {
-		panic(fmt.Sprintf("routing: gateway %v has unwired port", gw))
-	}
-	hops = append(hops, Hop{From: gw.Router, To: peer, Kind: Global, VC: st.globalClass()})
+	hops = append(hops, Hop{From: gw.Router, To: gw.Peer, Kind: Global, VC: st.globalClass()})
 	st.globalHops++
-	cur = peer
+	cur = gw.Peer
 	return c.appendLocalDOR(hops, cur, dst, st.localClass())
 }
 
@@ -394,7 +428,7 @@ func (c *Chooser) pickGateway(cur topology.RouterID, gs, gd int) topology.Gatewa
 // (GatewayNearest), or every gateway within one local hop (GatewaySpread,
 // falling back to nearest when none is that close).
 func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topology.Gateway {
-	idx := int(cur)*c.topo.NumGroups() + gd
+	idx := int(cur)*c.numGroups + gd
 	if cand := c.nearestGW[idx]; cand != nil {
 		return cand
 	}
@@ -433,8 +467,8 @@ func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topolog
 // returns a single candidate without sampling; GatewayRandom always
 // samples). Only such paths may be cached.
 func (c *Chooser) minimalDeterministic(rs, rd topology.RouterID) bool {
-	gs := c.topo.GroupOfRouter(rs)
-	gd := c.topo.GroupOfRouter(rd)
+	gs := int(c.groupOf[rs])
+	gd := int(c.groupOf[rd])
 	if gs == gd {
 		return true
 	}
@@ -469,10 +503,12 @@ func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
 	return Path{Hops: hops, arena: c.pathState != nil}
 }
 
-// valiantPath routes minimally to a random intermediate router, then
-// minimally to the destination, bumping the VC class at the intermediate.
+// valiantPath routes minimally to a random intermediate router (drawn from
+// the machine's eligible set — every router on the XC40 grid, leaves only on
+// Dragonfly+), then minimally to the destination, bumping the VC class at
+// the intermediate.
 func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
-	mid := topology.RouterID(c.rng.Intn(c.numRouters))
+	mid := c.valiant[c.rng.Intn(len(c.valiant))]
 	if mid == rs || mid == rd {
 		return c.minimalPath(rs, rd)
 	}
@@ -491,7 +527,7 @@ func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
 func (c *Chooser) adaptivePath(rs, rd topology.RouterID) Path {
 	cands := append(c.candBuf[:0], c.minimalPath(rs, rd))
 	nMin := 1
-	if c.topo.GroupOfRouter(rs) != c.topo.GroupOfRouter(rd) {
+	if c.groupOf[rs] != c.groupOf[rd] {
 		// A second minimal candidate only exists when gateway choice varies.
 		cands = append(cands, c.minimalPath(rs, rd))
 		nMin = 2
@@ -548,7 +584,7 @@ func (c *Chooser) score(p Path) int64 {
 // Validate checks structural invariants of a path from rs to rd: hop
 // contiguity, physical link existence, VC-class monotonicity and bounds.
 // It is used by tests and by the fabric in debug builds.
-func Validate(topo *topology.Topology, rs, rd topology.RouterID, p Path) error {
+func Validate(topo topology.Interconnect, rs, rd topology.RouterID, p Path) error {
 	cur := rs
 	lastLocal, lastGlobal := -1, -1
 	for i, h := range p.Hops {
@@ -568,14 +604,7 @@ func Validate(topo *topology.Topology, rs, rd topology.RouterID, p Path) error {
 			}
 			lastLocal = int(h.VC)
 		case Global:
-			ok := false
-			for port := 0; port < topo.Config().GlobalPortsPerRouter; port++ {
-				if peer, _, wired := topo.GlobalPeer(h.From, port); wired && peer == h.To {
-					ok = true
-					break
-				}
-			}
-			if !ok {
+			if !topo.GlobalConnected(h.From, h.To) {
 				return fmt.Errorf("hop %d: no global link %d->%d", i, h.From, h.To)
 			}
 			if int(h.VC) != lastGlobal+1 {

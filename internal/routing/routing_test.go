@@ -6,12 +6,8 @@ import (
 
 	"dragonfly/internal/des"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
 )
-
-func miniTopo(t *testing.T) *topology.Topology {
-	t.Helper()
-	return topology.MustNew(topology.Mini())
-}
 
 func TestMechanismStringParse(t *testing.T) {
 	for _, c := range []struct {
@@ -35,7 +31,7 @@ func TestMechanismStringParse(t *testing.T) {
 }
 
 func TestMinimalPathsValidAllPairsMini(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	ch := NewChooser(topo, Minimal, des.NewRNG(1, "t"), nil)
 	for s := topology.NodeID(0); int(s) < topo.NumNodes(); s++ {
 		for d := topology.NodeID(0); int(d) < topo.NumNodes(); d++ {
@@ -55,7 +51,7 @@ func TestMinimalPathsValidAllPairsMini(t *testing.T) {
 }
 
 func TestMinimalIntraGroupExactLength(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	ch := NewChooser(topo, Minimal, des.NewRNG(1, "t"), nil)
 	for s := topology.NodeID(0); int(s) < topo.NumNodes(); s++ {
 		for d := topology.NodeID(0); int(d) < topo.NumNodes(); d++ {
@@ -72,7 +68,7 @@ func TestMinimalIntraGroupExactLength(t *testing.T) {
 }
 
 func TestMinimalPathsValidSampledTheta(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	rng := des.NewRNG(2, "theta")
 	ch := NewChooser(topo, Minimal, rng.Stream("route"), nil)
 	for i := 0; i < 2000; i++ {
@@ -86,7 +82,7 @@ func TestMinimalPathsValidSampledTheta(t *testing.T) {
 }
 
 func TestValiantPathsValid(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	rng := des.NewRNG(3, "v")
 	ch := NewChooser(topo, Adaptive, rng.Stream("route"), nil)
 	for i := 0; i < 5000; i++ {
@@ -107,7 +103,7 @@ func TestValiantPathsValid(t *testing.T) {
 }
 
 func TestVCClassBoundsProperty(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	rng := des.NewRNG(4, "vc")
 	ch := NewChooser(topo, Adaptive, rng.Stream("route"), nil)
 	n := topo.NumNodes()
@@ -138,7 +134,7 @@ func TestAdaptiveOnIdleNetworkNeverMisroutes(t *testing.T) {
 	// On an idle network the minimal-preference bias must keep adaptive
 	// routing on minimal-policy paths: at most one global hop, at most
 	// five hops total, and no Valiant VC-class bump.
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	adp := NewChooser(topo, Adaptive, des.NewRNG(5, "a"), nil)
 	for i := 0; i < 500; i++ {
 		rng := des.NewRNG(int64(i), "pair")
@@ -171,7 +167,7 @@ func (c congestedLink) OutputBacklog(from, to topology.RouterID) int64 {
 }
 
 func TestAdaptiveAvoidsCongestedFirstHop(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	// Same-row pair: the minimal route's single hop is the direct link.
 	rs := topo.RouterAt(0, 0, 0)
 	rd := topo.RouterAt(0, 0, 3)
@@ -195,7 +191,7 @@ func TestAdaptiveAvoidsCongestedFirstHop(t *testing.T) {
 }
 
 func TestRouteSameRouterEmptyPath(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	ch := NewChooser(topo, Adaptive, des.NewRNG(9, "s"), nil)
 	p := ch.Route(topo.NodeAt(5, 0), topo.NodeAt(5, 1))
 	if len(p.Hops) != 0 {
@@ -207,7 +203,7 @@ func TestRouteSameRouterEmptyPath(t *testing.T) {
 }
 
 func TestValidateCatchesCorruptPaths(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	ch := NewChooser(topo, Minimal, des.NewRNG(10, "c"), nil)
 	s := topo.NodeAt(topo.RouterAt(0, 0, 0), 0)
 	d := topo.NodeAt(topo.RouterAt(1, 1, 2), 0)
@@ -243,7 +239,7 @@ func TestValidateCatchesCorruptPaths(t *testing.T) {
 }
 
 func TestGatewayNearestPolicy(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	ch := NewChooserOpts(topo, Minimal, des.NewRNG(12, "gw"), nil, Options{Gateway: GatewayNearest})
 	rs := topo.RouterAt(0, 2, 3)
 	gw := ch.pickGateway(rs, 0, 5)
@@ -262,7 +258,7 @@ func TestGatewayNearestPolicy(t *testing.T) {
 }
 
 func TestGatewaySpreadPolicyDefault(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	ch := NewChooser(topo, Minimal, des.NewRNG(13, "gw"), nil)
 	rs := topo.RouterAt(0, 2, 3)
 	// Every candidate is within one local hop, and the candidate set is
@@ -281,7 +277,7 @@ func TestGatewaySpreadPolicyDefault(t *testing.T) {
 }
 
 func TestRandomGatewayOptionSpreadsChoice(t *testing.T) {
-	topo := topology.MustNew(topology.Theta())
+	topo := topotest.Theta(t)
 	rng := des.NewRNG(1, "gw")
 	nearest := NewChooserOpts(topo, Minimal, rng.Stream("a"), nil, Options{Gateway: GatewayNearest})
 	random := NewChooserOpts(topo, Minimal, rng.Stream("b"), nil, Options{Gateway: GatewayRandom})
@@ -307,7 +303,7 @@ func TestRandomGatewayOptionSpreadsChoice(t *testing.T) {
 }
 
 func TestValiantCandidatesOption(t *testing.T) {
-	topo := miniTopo(t)
+	topo := topotest.Mini(t)
 	rs := topo.RouterAt(0, 0, 0)
 	rd := topo.RouterAt(0, 0, 3)
 	s, d := topo.NodeAt(rs, 0), topo.NodeAt(rd, 0)

@@ -66,7 +66,7 @@ func (j *JobRecord) MaxCommTime() des.Time {
 
 // Config describes the machine and discipline.
 type Config struct {
-	Topology topology.Config
+	Topology topology.Machine
 	Params   network.Params
 	Routing  routing.Mechanism
 	Seed     int64
@@ -102,7 +102,7 @@ type scheduler struct {
 	cfg     Config
 	eng     *des.Engine
 	fab     *network.Fabric
-	topo    *topology.Topology
+	topo    topology.Interconnect
 	pool    *placement.Pool
 	rng     *des.RNG
 	queue   []pendingJob
@@ -114,7 +114,10 @@ func Run(cfg Config, jobs []JobRequest) (*Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sched: no jobs submitted")
 	}
-	topo, err := topology.New(cfg.Topology)
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sched: config has no machine (set Topology)")
+	}
+	topo, err := cfg.Topology.Build()
 	if err != nil {
 		return nil, err
 	}

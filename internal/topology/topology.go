@@ -94,8 +94,10 @@ func (c Config) Validate() error {
 // RoutersPerGroup returns the router count of one group.
 func (c Config) RoutersPerGroup() int { return c.Rows * c.Cols }
 
-// Topology is an immutable, fully wired dragonfly machine.
-type Topology struct {
+// Dragonfly is an immutable, fully wired XC40-style dragonfly machine. It is
+// the reference Interconnect implementation; Topology is kept as an alias for
+// existing callers.
+type Dragonfly struct {
 	cfg Config
 
 	routersPerGroup int
@@ -113,18 +115,20 @@ type Topology struct {
 }
 
 // Gateway is a router (with the specific global port) that connects its
-// group to some destination group.
+// group to some destination group. Peer is the router at the far end of the
+// link, precomputed so route construction never needs a per-port lookup.
 type Gateway struct {
 	Router RouterID
 	Port   int
+	Peer   RouterID
 }
 
 // New builds and wires a machine.
-func New(cfg Config) (*Topology, error) {
+func New(cfg Config) (*Dragonfly, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Topology{
+	t := &Dragonfly{
 		cfg:             cfg,
 		routersPerGroup: cfg.RoutersPerGroup(),
 	}
@@ -135,7 +139,7 @@ func New(cfg Config) (*Topology, error) {
 }
 
 // MustNew is New for known-good configurations (presets, tests).
-func MustNew(cfg Config) *Topology {
+func MustNew(cfg Config) *Dragonfly {
 	t, err := New(cfg)
 	if err != nil {
 		panic(err)
@@ -143,28 +147,48 @@ func MustNew(cfg Config) *Topology {
 	return t
 }
 
+// Topology is the historical name of the XC40 dragonfly implementation.
+//
+// Deprecated: use Dragonfly (or the Interconnect interface).
+type Topology = Dragonfly
+
+// Build makes Config a Machine: it wires the described dragonfly.
+func (c Config) Build() (Interconnect, error) { return New(c) }
+
+// Label returns a compact, deterministic description of the machine shape,
+// used when experiment reports need to say which machine they ran on.
+func (c Config) Label() string {
+	return fmt.Sprintf("dragonfly:g%d-r%dx%d-n%d", c.Groups, c.Rows, c.Cols, c.NodesPerRouter)
+}
+
 // Config returns the machine's configuration.
-func (t *Topology) Config() Config { return t.cfg }
+func (t *Dragonfly) Config() Config { return t.cfg }
+
+// Name identifies the topology family.
+func (t *Dragonfly) Name() string { return "dragonfly" }
+
+// NodesPerRouter returns the compute-node count attached to every router.
+func (t *Dragonfly) NodesPerRouter() int { return t.cfg.NodesPerRouter }
 
 // NumGroups returns the group count.
-func (t *Topology) NumGroups() int { return t.cfg.Groups }
+func (t *Dragonfly) NumGroups() int { return t.cfg.Groups }
 
 // NumRouters returns the machine-wide router count.
-func (t *Topology) NumRouters() int { return t.numRouters }
+func (t *Dragonfly) NumRouters() int { return t.numRouters }
 
 // NumNodes returns the machine-wide compute-node count.
-func (t *Topology) NumNodes() int { return t.numNodes }
+func (t *Dragonfly) NumNodes() int { return t.numNodes }
 
 // RoutersPerGroup returns the per-group router count.
-func (t *Topology) RoutersPerGroup() int { return t.routersPerGroup }
+func (t *Dragonfly) RoutersPerGroup() int { return t.routersPerGroup }
 
 // RouterAt returns the router at a coordinate.
-func (t *Topology) RouterAt(group, row, col int) RouterID {
+func (t *Dragonfly) RouterAt(group, row, col int) RouterID {
 	return RouterID((group*t.cfg.Rows+row)*t.cfg.Cols + col)
 }
 
 // RouterCoord returns the coordinate of a router.
-func (t *Topology) RouterCoord(r RouterID) Coord {
+func (t *Dragonfly) RouterCoord(r RouterID) Coord {
 	col := int(r) % t.cfg.Cols
 	rest := int(r) / t.cfg.Cols
 	row := rest % t.cfg.Rows
@@ -172,32 +196,32 @@ func (t *Topology) RouterCoord(r RouterID) Coord {
 }
 
 // GroupOfRouter returns the group containing a router.
-func (t *Topology) GroupOfRouter(r RouterID) int {
+func (t *Dragonfly) GroupOfRouter(r RouterID) int {
 	return int(r) / t.routersPerGroup
 }
 
 // RouterOfNode returns the router a node attaches to.
-func (t *Topology) RouterOfNode(n NodeID) RouterID {
+func (t *Dragonfly) RouterOfNode(n NodeID) RouterID {
 	return RouterID(int(n) / t.cfg.NodesPerRouter)
 }
 
 // NodeSlot returns the node's terminal-port slot on its router.
-func (t *Topology) NodeSlot(n NodeID) int {
+func (t *Dragonfly) NodeSlot(n NodeID) int {
 	return int(n) % t.cfg.NodesPerRouter
 }
 
 // NodeAt returns the node in a given slot of a router.
-func (t *Topology) NodeAt(r RouterID, slot int) NodeID {
+func (t *Dragonfly) NodeAt(r RouterID, slot int) NodeID {
 	return NodeID(int(r)*t.cfg.NodesPerRouter + slot)
 }
 
 // GroupOfNode returns the group containing a node.
-func (t *Topology) GroupOfNode(n NodeID) int {
+func (t *Dragonfly) GroupOfNode(n NodeID) int {
 	return t.GroupOfRouter(t.RouterOfNode(n))
 }
 
 // NodesOfRouter returns the nodes attached to a router, in slot order.
-func (t *Topology) NodesOfRouter(r RouterID) []NodeID {
+func (t *Dragonfly) NodesOfRouter(r RouterID) []NodeID {
 	out := make([]NodeID, t.cfg.NodesPerRouter)
 	for i := range out {
 		out[i] = t.NodeAt(r, i)
@@ -209,16 +233,16 @@ func (t *Topology) NodesOfRouter(r RouterID) []NodeID {
 
 // ChassisCount returns the machine-wide chassis count (one chassis per grid
 // row per group, as on Theta).
-func (t *Topology) ChassisCount() int { return t.cfg.Groups * t.cfg.Rows }
+func (t *Dragonfly) ChassisCount() int { return t.cfg.Groups * t.cfg.Rows }
 
 // ChassisOfRouter returns the chassis index of a router.
-func (t *Topology) ChassisOfRouter(r RouterID) int {
+func (t *Dragonfly) ChassisOfRouter(r RouterID) int {
 	c := t.RouterCoord(r)
 	return c.Group*t.cfg.Rows + c.Row
 }
 
 // RoutersInChassis returns the routers of one chassis in column order.
-func (t *Topology) RoutersInChassis(chassis int) []RouterID {
+func (t *Dragonfly) RoutersInChassis(chassis int) []RouterID {
 	group := chassis / t.cfg.Rows
 	row := chassis % t.cfg.Rows
 	out := make([]RouterID, t.cfg.Cols)
@@ -230,21 +254,21 @@ func (t *Topology) RoutersInChassis(chassis int) []RouterID {
 
 // CabinetsPerGroup returns how many cabinets one group spans; a trailing
 // partial cabinet counts as one.
-func (t *Topology) CabinetsPerGroup() int {
+func (t *Dragonfly) CabinetsPerGroup() int {
 	return (t.cfg.Rows + t.cfg.ChassisPerCabinet - 1) / t.cfg.ChassisPerCabinet
 }
 
 // CabinetCount returns the machine-wide cabinet count.
-func (t *Topology) CabinetCount() int { return t.cfg.Groups * t.CabinetsPerGroup() }
+func (t *Dragonfly) CabinetCount() int { return t.cfg.Groups * t.CabinetsPerGroup() }
 
 // CabinetOfRouter returns the cabinet index of a router.
-func (t *Topology) CabinetOfRouter(r RouterID) int {
+func (t *Dragonfly) CabinetOfRouter(r RouterID) int {
 	c := t.RouterCoord(r)
 	return c.Group*t.CabinetsPerGroup() + c.Row/t.cfg.ChassisPerCabinet
 }
 
 // RoutersInCabinet returns the routers of one cabinet in row-major order.
-func (t *Topology) RoutersInCabinet(cabinet int) []RouterID {
+func (t *Dragonfly) RoutersInCabinet(cabinet int) []RouterID {
 	perGroup := t.CabinetsPerGroup()
 	group := cabinet / perGroup
 	firstRow := (cabinet % perGroup) * t.cfg.ChassisPerCabinet
@@ -264,20 +288,20 @@ func (t *Topology) RoutersInCabinet(cabinet int) []RouterID {
 // --- local connectivity ----------------------------------------------------
 
 // SameRow reports whether two routers share a group grid row.
-func (t *Topology) SameRow(a, b RouterID) bool {
+func (t *Dragonfly) SameRow(a, b RouterID) bool {
 	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
 	return ca.Group == cb.Group && ca.Row == cb.Row
 }
 
 // SameCol reports whether two routers share a group grid column.
-func (t *Topology) SameCol(a, b RouterID) bool {
+func (t *Dragonfly) SameCol(a, b RouterID) bool {
 	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
 	return ca.Group == cb.Group && ca.Col == cb.Col
 }
 
 // LocalConnected reports whether a and b are joined by a local link
 // (same group and same row or same column, a != b).
-func (t *Topology) LocalConnected(a, b RouterID) bool {
+func (t *Dragonfly) LocalConnected(a, b RouterID) bool {
 	if a == b {
 		return false
 	}
@@ -286,7 +310,7 @@ func (t *Topology) LocalConnected(a, b RouterID) bool {
 
 // LocalNeighbors returns the routers joined to r by local links: the rest of
 // its row, then the rest of its column.
-func (t *Topology) LocalNeighbors(r RouterID) []RouterID {
+func (t *Dragonfly) LocalNeighbors(r RouterID) []RouterID {
 	c := t.RouterCoord(r)
 	out := make([]RouterID, 0, t.cfg.Cols-1+t.cfg.Rows-1)
 	for col := 0; col < t.cfg.Cols; col++ {
@@ -305,7 +329,7 @@ func (t *Topology) LocalNeighbors(r RouterID) []RouterID {
 // LocalDistance returns the intra-group hop distance between two routers of
 // the same group: 0 (same router), 1 (same row or column) or 2.
 // It panics if the routers are in different groups.
-func (t *Topology) LocalDistance(a, b RouterID) int {
+func (t *Dragonfly) LocalDistance(a, b RouterID) int {
 	ca, cb := t.RouterCoord(a), t.RouterCoord(b)
 	if ca.Group != cb.Group {
 		panic(fmt.Sprintf("topology: LocalDistance across groups: %v vs %v", ca, cb))
@@ -319,3 +343,27 @@ func (t *Topology) LocalDistance(a, b RouterID) int {
 		return 2
 	}
 }
+
+// LocalNextHop returns the router after cur on the canonical minimal
+// intra-group route from cur to dst: row first (move to dst's column within
+// cur's row), then column. Walking LocalNextHop until dst reproduces exactly
+// the dimension-ordered segment minimal routing uses, so the per-class local
+// channel dependency graph stays acyclic. cur == dst returns dst. It panics
+// if the routers are in different groups.
+func (t *Dragonfly) LocalNextHop(cur, dst RouterID) RouterID {
+	cc, cd := t.RouterCoord(cur), t.RouterCoord(dst)
+	if cc.Group != cd.Group {
+		panic(fmt.Sprintf("topology: LocalNextHop across groups: %v vs %v", cc, cd))
+	}
+	if cc.Col != cd.Col {
+		return t.RouterAt(cc.Group, cc.Row, cd.Col)
+	}
+	return dst
+}
+
+// NumValiantRouters returns how many routers are eligible as Valiant
+// intermediates; on the XC40 grid every router qualifies.
+func (t *Dragonfly) NumValiantRouters() int { return t.numRouters }
+
+// ValiantRouter returns the i-th eligible Valiant intermediate.
+func (t *Dragonfly) ValiantRouter(i int) RouterID { return RouterID(i) }

@@ -14,28 +14,41 @@ import "fmt"
 // pair can own different slot counts; the surplus ports stay unwired
 // (globalPeer = -1). All preset machines divide evenly.
 
-func (t *Topology) wireGlobal() {
+func (t *Dragonfly) wireGlobal() {
 	g := t.cfg.GlobalPortsPerRouter
-	t.globalPeer = make([]RouterID, t.numRouters*g)
-	t.globalPeerPort = make([]int32, t.numRouters*g)
-	for i := range t.globalPeer {
-		t.globalPeer[i] = -1
-		t.globalPeerPort[i] = -1
+	t.globalPeer, t.globalPeerPort, t.gateways = roundRobinWire(
+		t.cfg.Groups, t.numRouters, g, t.routersPerGroup*g,
+		func(group, k int) RouterID { return RouterID(group*t.routersPerGroup + k/g) },
+	)
+}
+
+// roundRobinWire runs the round-robin pairing described above for a machine
+// whose groups each expose portsPerGroup ports on the routers selected by
+// ownerOf (mapping a group-linear port index k to the owning router; the
+// router's own port index is k mod portsPerRouter). It returns the dense
+// peer/peerPort tables (indexed r*portsPerRouter+p, -1 when unwired) and the
+// per-group-pair gateway lists. Both dragonfly variants share it, so their
+// global wiring follows the same canonical arrangement.
+func roundRobinWire(groups, numRouters, portsPerRouter, portsPerGroup int, ownerOf func(group, k int) RouterID) (peer []RouterID, peerPort []int32, gateways [][][]Gateway) {
+	peer = make([]RouterID, numRouters*portsPerRouter)
+	peerPort = make([]int32, numRouters*portsPerRouter)
+	for i := range peer {
+		peer[i] = -1
+		peerPort[i] = -1
 	}
-	t.gateways = make([][][]Gateway, t.cfg.Groups)
-	for a := range t.gateways {
-		t.gateways[a] = make([][]Gateway, t.cfg.Groups)
+	gateways = make([][][]Gateway, groups)
+	for a := range gateways {
+		gateways[a] = make([][]Gateway, groups)
 	}
-	if t.cfg.Groups < 2 || g == 0 {
-		return
+	if groups < 2 || portsPerRouter == 0 {
+		return peer, peerPort, gateways
 	}
 
-	others := t.cfg.Groups - 1
-	portsPerGroup := t.routersPerGroup * g
+	others := groups - 1
 	// slotPort[a][b][s] = linear port index k in group a of slot s toward b.
-	slotPort := make([][][]int, t.cfg.Groups)
-	for a := 0; a < t.cfg.Groups; a++ {
-		slotPort[a] = make([][]int, t.cfg.Groups)
+	slotPort := make([][][]int, groups)
+	for a := 0; a < groups; a++ {
+		slotPort[a] = make([][]int, groups)
 		for k := 0; k < portsPerGroup; k++ {
 			ti := k % others // target index in a's skip list
 			b := ti
@@ -45,31 +58,31 @@ func (t *Topology) wireGlobal() {
 			slotPort[a][b] = append(slotPort[a][b], k)
 		}
 	}
-	for a := 0; a < t.cfg.Groups; a++ {
-		for b := a + 1; b < t.cfg.Groups; b++ {
+	for a := 0; a < groups; a++ {
+		for b := a + 1; b < groups; b++ {
 			n := len(slotPort[a][b])
 			if m := len(slotPort[b][a]); m < n {
 				n = m
 			}
 			for s := 0; s < n; s++ {
 				ka, kb := slotPort[a][b][s], slotPort[b][a][s]
-				ra := RouterID(a*t.routersPerGroup + ka/g)
-				rb := RouterID(b*t.routersPerGroup + kb/g)
-				pa, pb := ka%g, kb%g
-				t.globalPeer[int(ra)*g+pa] = rb
-				t.globalPeerPort[int(ra)*g+pa] = int32(pb)
-				t.globalPeer[int(rb)*g+pb] = ra
-				t.globalPeerPort[int(rb)*g+pb] = int32(pa)
-				t.gateways[a][b] = append(t.gateways[a][b], Gateway{Router: ra, Port: pa})
-				t.gateways[b][a] = append(t.gateways[b][a], Gateway{Router: rb, Port: pb})
+				ra, rb := ownerOf(a, ka), ownerOf(b, kb)
+				pa, pb := ka%portsPerRouter, kb%portsPerRouter
+				peer[int(ra)*portsPerRouter+pa] = rb
+				peerPort[int(ra)*portsPerRouter+pa] = int32(pb)
+				peer[int(rb)*portsPerRouter+pb] = ra
+				peerPort[int(rb)*portsPerRouter+pb] = int32(pa)
+				gateways[a][b] = append(gateways[a][b], Gateway{Router: ra, Port: pa, Peer: rb})
+				gateways[b][a] = append(gateways[b][a], Gateway{Router: rb, Port: pb, Peer: ra})
 			}
 		}
 	}
+	return peer, peerPort, gateways
 }
 
 // GlobalPeer returns the router and port at the far end of router r's global
 // port p; ok is false when the port is unwired.
-func (t *Topology) GlobalPeer(r RouterID, p int) (peer RouterID, peerPort int, ok bool) {
+func (t *Dragonfly) GlobalPeer(r RouterID, p int) (peer RouterID, peerPort int, ok bool) {
 	g := t.cfg.GlobalPortsPerRouter
 	if p < 0 || p >= g {
 		panic(fmt.Sprintf("topology: global port %d out of range [0,%d)", p, g))
@@ -83,8 +96,20 @@ func (t *Topology) GlobalPeer(r RouterID, p int) (peer RouterID, peerPort int, o
 
 // Gateways returns the (router, port) pairs in group src whose global links
 // land in group dst. The returned slice is shared; callers must not mutate it.
-func (t *Topology) Gateways(src, dst int) []Gateway {
+func (t *Dragonfly) Gateways(src, dst int) []Gateway {
 	return t.gateways[src][dst]
+}
+
+// GlobalConnected reports whether routers a and b are joined by a wired
+// global link in either direction.
+func (t *Dragonfly) GlobalConnected(a, b RouterID) bool {
+	g := t.cfg.GlobalPortsPerRouter
+	for p := 0; p < g; p++ {
+		if t.globalPeer[int(a)*g+p] == b {
+			return true
+		}
+	}
+	return false
 }
 
 // GlobalConn is one bidirectional global link, reported once with A < B.
@@ -96,7 +121,7 @@ type GlobalConn struct {
 }
 
 // GlobalConns enumerates every wired global link exactly once.
-func (t *Topology) GlobalConns() []GlobalConn {
+func (t *Dragonfly) GlobalConns() []GlobalConn {
 	g := t.cfg.GlobalPortsPerRouter
 	var out []GlobalConn
 	for r := 0; r < t.numRouters; r++ {
@@ -120,7 +145,7 @@ func (t *Topology) GlobalConns() []GlobalConn {
 // "average hops" metric (Fig. 4a). Delivery through a single shared router
 // counts 1; the worst minimal inter-group path (two local hops each side of
 // the global hop) counts 6.
-func (t *Topology) MinimalRouterHops(src, dst NodeID) int {
+func (t *Dragonfly) MinimalRouterHops(src, dst NodeID) int {
 	rs, rd := t.RouterOfNode(src), t.RouterOfNode(dst)
 	gs, gd := t.GroupOfRouter(rs), t.GroupOfRouter(rd)
 	if gs == gd {
@@ -145,7 +170,7 @@ func (t *Topology) MinimalRouterHops(src, dst NodeID) int {
 
 // Describe returns a human-readable inventory of the machine — the textual
 // equivalent of the paper's Figure 1 system diagram.
-func (t *Topology) Describe() string {
+func (t *Dragonfly) Describe() string {
 	c := t.cfg
 	localPerRouter := (c.Cols - 1) + (c.Rows - 1)
 	wired := len(t.GlobalConns())

@@ -38,14 +38,14 @@ type PingPongResult struct {
 // PingPong sends one single-packet message between `pairs` random node
 // pairs on an idle machine under minimal routing and compares each measured
 // delivery time with the analytic zero-load prediction.
-func PingPong(topoCfg topology.Config, params network.Params, bytes, pairs int, seed int64) (*PingPongResult, error) {
+func PingPong(machine topology.Machine, params network.Params, bytes, pairs int, seed int64) (*PingPongResult, error) {
 	if bytes < 1 || bytes > params.PacketBytes {
 		return nil, fmt.Errorf("validate: ping payload %d must be in [1, %d] (single packet)", bytes, params.PacketBytes)
 	}
 	if pairs < 1 {
 		return nil, fmt.Errorf("validate: need >= 1 pair")
 	}
-	topo, err := topology.New(topoCfg)
+	topo, err := machine.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +70,7 @@ func PingPong(topoCfg topology.Config, params network.Params, bytes, pairs int, 
 }
 
 // pingOnce runs one message on a fresh idle fabric.
-func pingOnce(topo *topology.Topology, params network.Params, src, dst topology.NodeID, bytes int, seed int64) (*PingSample, error) {
+func pingOnce(topo topology.Interconnect, params network.Params, src, dst topology.NodeID, bytes int, seed int64) (*PingSample, error) {
 	eng := des.New()
 	fab, err := network.New(eng, topo, params, routing.Minimal, des.NewRNG(seed, "validate/fabric"))
 	if err != nil {
@@ -145,11 +145,11 @@ type BisectionResult struct {
 // second half (the CODES validation workload); every pair exchanges
 // `bytesPerPair` in both directions simultaneously, and the aggregate
 // delivered bandwidth is measured against the injection ceiling.
-func Bisection(topoCfg topology.Config, params network.Params, mech routing.Mechanism, bytesPerPair int64, seed int64) (*BisectionResult, error) {
+func Bisection(machine topology.Machine, params network.Params, mech routing.Mechanism, bytesPerPair int64, seed int64) (*BisectionResult, error) {
 	if bytesPerPair < 1 {
 		return nil, fmt.Errorf("validate: bytesPerPair must be >= 1")
 	}
-	topo, err := topology.New(topoCfg)
+	topo, err := machine.Build()
 	if err != nil {
 		return nil, err
 	}
