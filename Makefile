@@ -19,8 +19,10 @@ race:
 # CI smoke for the native fuzz targets; `go test -fuzz` accepts one target
 # per invocation, so each gets its own short budget.
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzRoute -fuzztime=10s ./internal/routing
+	$(GO) test -fuzz=FuzzRoute$$ -fuzztime=10s ./internal/routing
+	$(GO) test -fuzz=FuzzRouteFaults -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 
 # Refresh the in-repo performance snapshot (engine/fabric/routing
 # microbenches + artifact regeneration benches). Commit BENCH_des.json so

@@ -35,6 +35,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"dragonfly/internal/cliutil"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -71,7 +73,7 @@ func main() {
 		pkgs = []string{"./internal/des", "./internal/network", "./internal/routing", "."}
 	}
 	if (*cpuProf != "" || *memProf != "") && len(pkgs) != 1 {
-		fatalf("-cpuprofile/-memprofile need exactly one package (go test writes one profile per binary); got %d", len(pkgs))
+		cliutil.Usagef("dfbench", "-cpuprofile/-memprofile need exactly one package (go test writes one profile per binary); got %d", len(pkgs))
 	}
 
 	args := []string{"test", "-bench", *benchRe, "-benchmem", "-run", "^$"}

@@ -16,10 +16,10 @@ import (
 	"os"
 
 	"dragonfly"
+	"dragonfly/internal/cliutil"
 	"dragonfly/internal/des"
 	"dragonfly/internal/network"
 	"dragonfly/internal/sched"
-	"dragonfly/internal/topology"
 	"dragonfly/internal/trace"
 )
 
@@ -35,24 +35,20 @@ func main() {
 	)
 	flag.Parse()
 
-	name := *topoName
-	if name == "" {
-		name = *machine
+	if *jobs <= 0 {
+		cliutil.Usagef("dfsched", "jobs=%d: want a positive job count", *jobs)
 	}
-	if name == "" {
-		name = "mini"
-	}
-	m, err := topology.Preset(name)
+	m, err := cliutil.Machine(*topoName, *machine, "mini")
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsched", "%v", err)
 	}
-	pol, err := dragonfly.ParsePlacement(*place)
+	pol, err := cliutil.Placement(*place)
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsched", "%v", err)
 	}
-	mech, err := dragonfly.ParseRouting(*route)
+	mech, err := cliutil.Routing(*route)
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsched", "%v", err)
 	}
 
 	ic, err := m.Build()

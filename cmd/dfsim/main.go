@@ -13,6 +13,7 @@
 //	dfsim -app AMG -placement cont -routing adp -background uniform
 //	dfsim -app FB -machine mini -scale 0.5 -seed 7
 //	dfsim -app CR -placement cont,rand -routing min,adp -parallel 4
+//	dfsim -app CR -routing adp -faults global=0.25,seed=3 -audit
 package main
 
 import (
@@ -20,10 +21,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"dragonfly"
 	"dragonfly/internal/ascii"
+	"dragonfly/internal/cliutil"
 	"dragonfly/internal/profiling"
 )
 
@@ -42,6 +43,9 @@ func main() {
 		bgBytes    = flag.Int64("bg-bytes", 16*1024, "background message size in bytes")
 		bgInterval = flag.Duration("bg-interval", 0, "background interval (default 50us uniform, 500us bursty)")
 		bgFanOut   = flag.Int("bg-fanout", 64, "bursty background fan-out per node (0 = all peers)")
+		faultSpec  = flag.String("faults", "", "degrade the fabric (extension beyond the paper): comma clauses global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, fail|repair=link:A-B@DUR or router:ID@DUR, seed=N")
+		faultSeed  = flag.Int64("fault-seed", 0, "override the fault spec's seed= clause (0 keeps the spec's own seed)")
+		wdEvents   = flag.Uint64("watchdog-events", 10_000_000_000, "DES stall watchdog: fail with a queue diagnostic past this many events (0 disables)")
 		describe   = flag.Bool("describe", false, "print the machine inventory (Figure 1) and exit")
 		plot       = flag.Bool("plot", false, "render ASCII comm-time box plot and channel-traffic CDFs")
 		auditOn    = flag.Bool("audit", false, "run under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
@@ -60,16 +64,9 @@ func main() {
 		}
 	}()
 
-	name := *topoName
-	if name == "" {
-		name = *machine
-	}
-	if name == "" {
-		name = "theta"
-	}
-	m, err := dragonfly.TopologyPreset(name)
+	m, err := cliutil.Machine(*topoName, *machine, "theta")
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsim", "%v", err)
 	}
 	ic, err := m.Build()
 	if err != nil {
@@ -84,51 +81,49 @@ func main() {
 	// Small machines get proportionally shrunk application traces.
 	tr, err := appTrace(*app, ic.NumNodes() <= 256)
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsim", "%v", err)
 	}
-	var pols []dragonfly.PlacementPolicy
-	for _, s := range strings.Split(*place, ",") {
-		pol, err := dragonfly.ParsePlacement(strings.TrimSpace(s))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		pols = append(pols, pol)
-	}
-	var mechs []dragonfly.RoutingMechanism
-	for _, s := range strings.Split(*route, ",") {
-		mech, err := dragonfly.ParseRouting(strings.TrimSpace(s))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		mechs = append(mechs, mech)
-	}
-	mapPol, err := dragonfly.ParseMapping(*mapName)
+	pols, err := cliutil.Placements(*place)
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfsim", "%v", err)
+	}
+	mechs, err := cliutil.Routings(*route)
+	if err != nil {
+		cliutil.Usagef("dfsim", "%v", err)
+	}
+	mapPol, err := cliutil.Mapping(*mapName)
+	if err != nil {
+		cliutil.Usagef("dfsim", "%v", err)
+	}
+	fspec, err := cliutil.FaultSpec(*faultSpec, *faultSeed)
+	if err != nil {
+		cliutil.Usagef("dfsim", "%v", err)
+	}
+	bgKind, bgOn, err := cliutil.Background(*background)
+	if err != nil {
+		cliutil.Usagef("dfsim", "%v", err)
 	}
 
 	var cfgs []dragonfly.Config
 	for _, mech := range mechs {
 		for _, pol := range pols {
 			cfg := dragonfly.Config{
-				Topology:  m,
-				Params:    dragonfly.DefaultParams(),
-				Placement: pol,
-				Routing:   mech,
-				Mapping:   mapPol,
-				Trace:     tr,
-				MsgScale:  *msgScale,
-				Seed:      *seed,
-				Audit:     *auditOn,
+				Topology:       m,
+				Params:         dragonfly.DefaultParams(),
+				Placement:      pol,
+				Routing:        mech,
+				Mapping:        mapPol,
+				Trace:          tr,
+				MsgScale:       *msgScale,
+				Seed:           *seed,
+				Audit:          *auditOn,
+				Faults:         fspec,
+				WatchdogEvents: *wdEvents,
 			}
-			switch *background {
-			case "none":
-			case "uniform", "bursty":
-				kind := dragonfly.UniformRandom
+			if bgOn {
 				interval := 50 * dragonfly.Microsecond
 				fan := 0
-				if *background == "bursty" {
-					kind = dragonfly.Bursty
+				if bgKind == dragonfly.Bursty {
 					interval = 500 * dragonfly.Microsecond
 					fan = *bgFanOut
 				}
@@ -136,11 +131,9 @@ func main() {
 					interval = dragonfly.Time(bgInterval.Nanoseconds())
 				}
 				cfg.Background = &dragonfly.BackgroundConfig{
-					Kind: kind, MsgBytes: *bgBytes, Interval: interval, FanOut: fan,
+					Kind: bgKind, MsgBytes: *bgBytes, Interval: interval, FanOut: fan,
 				}
 				cfg.MaxSimTime = dragonfly.Second
-			default:
-				fatalf("unknown background %q", *background)
 			}
 			cfgs = append(cfgs, cfg)
 		}
@@ -230,6 +223,13 @@ func printResult(res *dragonfly.Result, app string) {
 	fmt.Printf("  global chans:  %.1f MiB total, %.2f MiB max; saturation %.4g ms total, %.4g ms max\n", gt, gtMax, gs, gsMax)
 	if res.BackgroundPeakLoad > 0 {
 		fmt.Printf("  bg peak load:  %.2f MiB per interval\n", float64(res.BackgroundPeakLoad)/(1024*1024))
+	}
+	if res.DroppedPackets > 0 || res.RouteErr != nil {
+		fmt.Printf("  dropped:       %d packets, %d bytes (degraded fabric)\n",
+			res.DroppedPackets, res.DroppedBytes)
+	}
+	if res.RouteErr != nil {
+		fmt.Printf("  unreachable:   %v\n", res.RouteErr)
 	}
 	if res.Audit != nil {
 		s := res.Audit.Stats

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dragonfly"
+	"dragonfly/internal/cliutil"
 	"dragonfly/internal/profiling"
 )
 
@@ -33,6 +34,8 @@ func main() {
 		burst    = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
 		parallel = flag.Int("parallel", 0, "worker pool for independent simulations (1 = sequential, 0 = NumCPU); reports are byte-identical at every setting")
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
+		faultStr = flag.String("faults", "", "degrade every simulation's fabric (extension beyond the paper): comma clauses global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, fail|repair=link:A-B@DUR or router:ID@DUR, seed=N; figr drives its own fractions and ignores this")
+		faultSd  = flag.Int64("fault-seed", 0, "override the fault spec's seed= clause (0 keeps the spec's own seed)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -61,22 +64,38 @@ func main() {
 	case "paper":
 		opts.Scale = dragonfly.ScalePaper
 	default:
-		fatalf("unknown scale %q (want quick or paper)", *scale)
+		cliutil.Usagef("dfsweep", "scale %q: want quick or paper", *scale)
 	}
 	if *topoName != "" {
-		m, err := dragonfly.TopologyPreset(*topoName)
+		m, err := cliutil.Machine(*topoName, "", "")
 		if err != nil {
-			fatalf("%v", err)
+			cliutil.Usagef("dfsweep", "%v", err)
 		}
 		opts.Machine = m
 	}
+	fspec, err := cliutil.FaultSpec(*faultStr, *faultSd)
+	if err != nil {
+		cliutil.Usagef("dfsweep", "%v", err)
+	}
+	opts.Faults = fspec
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
 
+	known := map[string]bool{}
+	for _, id := range append(dragonfly.ExperimentIDs(), dragonfly.ExtensionExperimentIDs()...) {
+		known[id] = true
+	}
 	ids := dragonfly.ExperimentIDs()
 	if *exps != "all" {
 		ids = strings.Split(*exps, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+			if !known[ids[i]] {
+				cliutil.Usagef("dfsweep", "experiment %q: want %s, or all",
+					ids[i], strings.Join(append(dragonfly.ExperimentIDs(), dragonfly.ExtensionExperimentIDs()...), ", "))
+			}
+		}
 	}
 
 	runner := dragonfly.NewRunner(opts)

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"dragonfly"
+	"dragonfly/internal/cliutil"
 	"dragonfly/internal/trace"
 )
 
@@ -31,6 +32,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *matrix < 0 {
+		cliutil.Usagef("dftrace", "matrix=%d: want a non-negative bin count", *matrix)
+	}
 	var tr *dragonfly.Trace
 	var err error
 	switch {
@@ -40,8 +44,11 @@ func main() {
 		tr, err = readText(*textIn)
 	case *app != "":
 		tr, err = generate(*app)
+		if err != nil {
+			cliutil.Usagef("dftrace", "%v", err)
+		}
 	default:
-		fatalf("specify -app to generate, or -in/-text-in to read a trace")
+		cliutil.Usagef("dftrace", "specify -app to generate, or -in/-text-in to read a trace")
 	}
 	if err != nil {
 		fatalf("%v", err)

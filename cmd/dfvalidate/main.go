@@ -8,14 +8,19 @@
 //	dfvalidate
 //	dfvalidate -machine mini -pairs 100
 //	dfvalidate -bisect-bytes 1048576 -routing adp
+//	dfvalidate -topo mini -faults global=0.3,routers=2,seed=5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dragonfly"
+	"dragonfly/internal/cliutil"
+	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/validate"
@@ -31,21 +36,21 @@ func main() {
 		route    = flag.String("routing", "min", "bisection routing: min or adp")
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxError = flag.Float64("max-error", 0.001, "fail if ping relative error exceeds this")
+		faultStr = flag.String("faults", "", "additionally validate fault-aware routing on this degraded fabric (spec grammar as in dfsim -faults)")
+		faultSd  = flag.Int64("fault-seed", 0, "override the fault spec's seed= clause (0 keeps the spec's own seed)")
 	)
 	flag.Parse()
 
-	name := *topoName
-	if name == "" {
-		name = *machine
-	}
-	if name == "" {
-		name = "theta"
-	}
-	m, err := topology.Preset(name)
+	m, err := cliutil.Machine(*topoName, *machine, "theta")
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfvalidate", "%v", err)
+	}
+	fspec, err := cliutil.FaultSpec(*faultStr, *faultSd)
+	if err != nil {
+		cliutil.Usagef("dfvalidate", "%v", err)
 	}
 	params := dragonfly.DefaultParams()
+	name := m.Label()
 
 	fmt.Printf("ping-pong: %d pairs x %d B on %s...\n", *pairs, *bytes, name)
 	ping, err := validate.PingPong(m, params, *bytes, *pairs, *seed)
@@ -74,9 +79,9 @@ func main() {
 		fatalf("ping-pong validation FAILED")
 	}
 
-	mech, err := routing.ParseMechanism(*route)
+	mech, err := cliutil.Routing(*route)
 	if err != nil {
-		fatalf("%v", err)
+		cliutil.Usagef("dfvalidate", "%v", err)
 	}
 	fmt.Printf("bisection pairing: %d B/pair under %s routing...\n", *bisect, mech)
 	bi, err := validate.Bisection(m, params, mech, *bisect, *seed)
@@ -87,7 +92,67 @@ func main() {
 	fmt.Printf("  %d pairs, makespan %v\n", bi.Pairs, bi.Makespan)
 	fmt.Printf("  aggregate bandwidth %.2f GiB/s (injection bound %.2f GiB/s, utilization %.1f%%)\n",
 		bi.AchievedBandwidth/GiB, bi.InjectionBound/GiB, 100*bi.Utilization)
+
+	if !fspec.Empty() {
+		if err := validateFaults(m, fspec, *pairs, *seed); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	fmt.Println("validation PASSED")
+}
+
+// validateFaults checks the fault-aware routing contract on the degraded
+// machine: over sampled node pairs and both mechanisms, every computed route
+// must pass the physical/VC validator and touch only live routers and local
+// links, and every failure must be the typed ErrUnreachable — never a panic
+// or an unexplained error.
+func validateFaults(m topology.Machine, spec *faults.Spec, pairs int, seed int64) error {
+	ic, err := m.Build()
+	if err != nil {
+		return err
+	}
+	set, err := faults.Resolve(spec, ic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("degraded fabric: %s\n", set.Describe())
+	for _, mech := range []routing.Mechanism{routing.Minimal, routing.Adaptive} {
+		rng := des.NewRNG(seed, "dfvalidate/faults")
+		ch := routing.NewChooserOpts(ic, mech, rng.Stream("route"), nil, routing.Options{Health: set})
+		reach, unreach := 0, 0
+		for i := 0; i < pairs; i++ {
+			src := topology.NodeID(rng.Intn(ic.NumNodes()))
+			dst := topology.NodeID(rng.Intn(ic.NumNodes()))
+			if src == dst {
+				dst = topology.NodeID((int(dst) + 1) % ic.NumNodes())
+			}
+			p, err := ch.TryRoute(src, dst)
+			if err != nil {
+				if !errors.Is(err, routing.ErrUnreachable) {
+					return fmt.Errorf("fault-aware %v route %d->%d: untyped failure: %v", mech, src, dst, err)
+				}
+				unreach++
+				continue
+			}
+			if err := routing.Validate(ic, ic.RouterOfNode(src), ic.RouterOfNode(dst), p); err != nil {
+				return fmt.Errorf("fault-aware %v route %d->%d invalid: %v", mech, src, dst, err)
+			}
+			for _, h := range p.Hops {
+				if !set.RouterUp(h.From) || !set.RouterUp(h.To) {
+					return fmt.Errorf("fault-aware %v route %d->%d traverses a failed router (%d->%d)",
+						mech, src, dst, h.From, h.To)
+				}
+				if h.Kind == routing.Local && !set.LocalLinkUp(h.From, h.To) {
+					return fmt.Errorf("fault-aware %v route %d->%d traverses failed local link %d-%d",
+						mech, src, dst, h.From, h.To)
+				}
+			}
+			reach++
+		}
+		fmt.Printf("  %v routing: %d/%d sampled pairs live-routable, %d unreachable, all routes valid\n",
+			mech, reach, pairs, unreach)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -29,6 +29,7 @@ import (
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
 	"dragonfly/internal/experiments"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/network"
 	"dragonfly/internal/placement"
@@ -192,6 +193,36 @@ const (
 	Bursty        = workload.Bursty
 )
 
+// Fault injection (extension beyond the paper): degrade the fabric before
+// or during a run (Config.Faults, ExperimentOptions.Faults, the -faults
+// flag of dfsim/dfsweep/dfvalidate) and measure the trade-off on the
+// broken machine. Fault-aware routing steers around failed equipment or
+// fails with ErrUnreachable; drops are byte-accounted and audited.
+type (
+	// FaultSpec declares which equipment fails: explicit IDs, seeded
+	// fractions of each link class, a router count, and optional timed
+	// fail/repair events. The zero value (or nil) degrades nothing.
+	FaultSpec = faults.Spec
+	// FaultEvent is one scheduled failure or repair.
+	FaultEvent = faults.Event
+)
+
+// ParseFaultSpec parses the -faults CLI grammar, e.g.
+// "global=0.25,local=0.1,routers=2,seed=7" or
+// "fail=link:3-40@200us,repair=link:3-40@1.5ms".
+func ParseFaultSpec(text string) (*FaultSpec, error) { return faults.ParseSpec(text) }
+
+// ErrUnreachable reports that a source/destination pair has no live route
+// on the degraded fabric; routing failures wrap it (use errors.Is).
+var ErrUnreachable = routing.ErrUnreachable
+
+// UnreachableError carries the unreachable router pair (use errors.As).
+type UnreachableError = routing.UnreachableError
+
+// WatchdogError reports a tripped DES stall watchdog (Config.WatchdogEvents
+// / WatchdogTime, the -watchdog-events flag) with a fabric diagnostic.
+type WatchdogError = des.WatchdogError
+
 // Study orchestration.
 type (
 	// Config describes one simulation run.
@@ -297,6 +328,6 @@ func NewRunner(opts ExperimentOptions) *ExperimentRunner { return experiments.Ne
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExtensionExperimentIDs lists the experiments beyond the paper's figures:
-// xmap (task mapping, the paper's future work) and xmulti (real-trace
-// co-run interference).
+// xmap (task mapping, the paper's future work), xmulti (real-trace co-run
+// interference), and figr (resilience sweep on a degraded fabric).
 func ExtensionExperimentIDs() []string { return experiments.ExtensionIDs() }

@@ -49,6 +49,7 @@ type Stats struct {
 	Messages         uint64 // messages tracked end-to-end
 	PacketsInjected  uint64
 	PacketsDelivered uint64
+	PacketsDropped   uint64 // faulted-fabric discards checked
 	Violations       uint64
 }
 
@@ -67,12 +68,22 @@ type linkShadow struct {
 	occ   []int
 }
 
-// msgShadow mirrors one in-flight message's byte accounting.
+// msgShadow mirrors one in-flight message's byte accounting. On a healthy
+// fabric dropped and preDropped stay zero and the close condition reduces to
+// the original received == injected == total. On a faulted fabric the
+// conservation rule is delivered + dropped == total: every queued byte is
+// accounted exactly once, as a delivery or as a loss on dead equipment.
 type msgShadow struct {
 	src, dst topology.NodeID
 	total    int64
 	injected int64
 	received int64
+	// dropped counts all discarded bytes; preDropped the subset discarded
+	// before injection (no live route at the NIC), which substitutes for
+	// injection in the FIFO and close accounting.
+	dropped    int64
+	preDropped int64
+	fifoPopped bool
 }
 
 // Auditor implements network.Observer plus a des event observer. One
@@ -240,16 +251,33 @@ func (a *Auditor) PacketInjected(msgID uint64, src topology.NodeID, bytes int, i
 	if m.injected > m.total {
 		a.violatef("conservation: message %d injected %d of %d bytes (overrun)", msgID, m.injected, m.total)
 	}
-	if m.injected >= m.total {
-		q := a.sendOrder[src]
-		switch {
-		case len(q) == 0:
-			a.violatef("fifo: node %d completed message %d with an empty send queue", src, msgID)
-		case q[0] != msgID:
-			a.violatef("fifo: node %d completed message %d before earlier message %d", src, msgID, q[0])
-		default:
-			a.sendOrder[src] = q[1:]
-		}
+	a.finishInjection(msgID, m)
+}
+
+// finishInjection pops the per-NIC FIFO once a message's bytes have all left
+// the send queue — injected onto the wire or discarded pre-injection. The
+// guard keeps mixed injected/pre-dropped messages from popping twice.
+func (a *Auditor) finishInjection(msgID uint64, m *msgShadow) {
+	if m.fifoPopped || m.injected+m.preDropped < m.total {
+		return
+	}
+	m.fifoPopped = true
+	q := a.sendOrder[m.src]
+	switch {
+	case len(q) == 0:
+		a.violatef("fifo: node %d completed message %d with an empty send queue", m.src, msgID)
+	case q[0] != msgID:
+		a.violatef("fifo: node %d completed message %d before earlier message %d", m.src, msgID, q[0])
+	default:
+		a.sendOrder[m.src] = q[1:]
+	}
+}
+
+// maybeClose drops the shadow once every byte is accounted for on both ends:
+// delivered + dropped covers the total, and so does injected + pre-dropped.
+func (a *Auditor) maybeClose(msgID uint64, m *msgShadow) {
+	if m.received+m.dropped == m.total && m.injected+m.preDropped == m.total {
+		delete(a.msgs, msgID)
 	}
 }
 
@@ -277,14 +305,47 @@ func (a *Auditor) PacketDelivered(msgID uint64, dst topology.NodeID, bytes int, 
 	if m.received > m.injected {
 		a.violatef("conservation: message %d delivered %d bytes but only %d injected", msgID, m.received, m.injected)
 	}
-	if m.received > m.total {
-		a.violatef("conservation: message %d received %d of %d bytes (overrun)", msgID, m.received, m.total)
+	if m.received+m.dropped > m.total {
+		a.violatef("conservation: message %d received %d + dropped %d of %d bytes (overrun)",
+			msgID, m.received, m.dropped, m.total)
 	}
-	if m.received == m.total && m.injected == m.total {
-		// Fully accounted; drop the shadow so long interference runs stay
-		// bounded in memory.
-		delete(a.msgs, msgID)
+	// Fully accounted shadows are deleted so long interference runs stay
+	// bounded in memory.
+	a.maybeClose(msgID, m)
+}
+
+// PacketDropped implements network.Observer: faulted-fabric discards join
+// the conservation ledger — delivered + dropped bytes may never exceed the
+// message total, and pre-injection discards stand in for injection in the
+// per-NIC FIFO accounting.
+func (a *Auditor) PacketDropped(msgID uint64, bytes int, droppedBytes int64, injected bool) {
+	a.stats.PacketsDropped++
+	m, ok := a.msgs[msgID]
+	if !ok {
+		a.violatef("conservation: packet dropped for unknown message %d", msgID)
+		return
 	}
+	if bytes <= 0 {
+		a.violatef("conservation: message %d dropped non-positive packet of %d bytes", msgID, bytes)
+	}
+	m.dropped += int64(bytes)
+	if droppedBytes != m.dropped {
+		a.violatef("conservation: message %d model dropped %d != shadow %d", msgID, droppedBytes, m.dropped)
+		m.dropped = droppedBytes
+	}
+	if m.received+m.dropped > m.total {
+		a.violatef("conservation: message %d received %d + dropped %d of %d bytes (overrun)",
+			msgID, m.received, m.dropped, m.total)
+	}
+	if injected && m.dropped-m.preDropped > m.injected {
+		a.violatef("conservation: message %d dropped %d in-flight bytes but only %d injected",
+			msgID, m.dropped-m.preDropped, m.injected)
+	}
+	if !injected {
+		m.preDropped += int64(bytes)
+		a.finishInjection(msgID, m)
+	}
+	a.maybeClose(msgID, m)
 }
 
 // Finish runs the end-of-run conservation checks. drained reports whether

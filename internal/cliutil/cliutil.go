@@ -1,0 +1,131 @@
+// Package cliutil centralizes flag parsing and validation for the cmd/
+// binaries. Every parser returns a plain value plus a one-line error that
+// names the valid choices, so each command reports flag mistakes identically
+// and a single table-driven test covers the whole surface; none of them
+// panics or exits. Usagef is the one place that terminates: commands route
+// flag-validation failures through it to exit with the conventional usage
+// status 2, keeping status 1 for runtime failures.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dragonfly/internal/faults"
+	"dragonfly/internal/mapping"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/workload"
+)
+
+// Usagef reports a flag-validation error on stderr as "cmd: message" and
+// exits with status 2 (the usage exit code, distinct from runtime failures).
+func Usagef(cmd, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// Machine resolves the -topo flag (with -machine as its deprecated alias)
+// to a machine preset, applying fallback when both are empty.
+func Machine(topo, machine, fallback string) (topology.Machine, error) {
+	name := topo
+	if name == "" {
+		name = machine
+	}
+	if name == "" {
+		name = fallback
+	}
+	m, err := topology.Preset(name)
+	if err != nil {
+		return nil, fmt.Errorf("machine %q: want %s", name, strings.Join(topology.PresetNames(), ", "))
+	}
+	return m, nil
+}
+
+// Placement parses one placement policy name.
+func Placement(s string) (placement.Policy, error) {
+	p, err := placement.Parse(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("placement %q: want cont, cab, chas, rotr, or rand", strings.TrimSpace(s))
+	}
+	return p, nil
+}
+
+// Placements parses a comma-separated placement sweep list.
+func Placements(csv string) ([]placement.Policy, error) {
+	var pols []placement.Policy
+	for _, s := range strings.Split(csv, ",") {
+		p, err := Placement(s)
+		if err != nil {
+			return nil, err
+		}
+		pols = append(pols, p)
+	}
+	return pols, nil
+}
+
+// Routing parses one routing mechanism name.
+func Routing(s string) (routing.Mechanism, error) {
+	m, err := routing.ParseMechanism(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("routing %q: want min or adp", strings.TrimSpace(s))
+	}
+	return m, nil
+}
+
+// Routings parses a comma-separated routing sweep list.
+func Routings(csv string) ([]routing.Mechanism, error) {
+	var mechs []routing.Mechanism
+	for _, s := range strings.Split(csv, ",") {
+		m, err := Routing(s)
+		if err != nil {
+			return nil, err
+		}
+		mechs = append(mechs, m)
+	}
+	return mechs, nil
+}
+
+// Mapping parses a task-mapping policy name.
+func Mapping(s string) (mapping.Policy, error) {
+	p, err := mapping.Parse(strings.TrimSpace(s))
+	if err != nil {
+		var names []string
+		for _, m := range mapping.All() {
+			names = append(names, m.String())
+		}
+		return 0, fmt.Errorf("mapping %q: want %s", strings.TrimSpace(s), strings.Join(names, ", "))
+	}
+	return p, nil
+}
+
+// Background parses the -background flag: on reports whether synthetic
+// interference is enabled at all ("none" disables it).
+func Background(s string) (kind workload.BackgroundKind, on bool, err error) {
+	switch strings.TrimSpace(s) {
+	case "none", "":
+		return 0, false, nil
+	case "uniform":
+		return workload.UniformRandom, true, nil
+	case "bursty":
+		return workload.Bursty, true, nil
+	}
+	return 0, false, fmt.Errorf("background %q: want none, uniform, or bursty", strings.TrimSpace(s))
+}
+
+// FaultSpec parses the -faults grammar (see faults.ParseSpec) and applies
+// the -fault-seed override when seed is non-zero. An empty string yields the
+// empty spec, which downstream layers skip entirely.
+func FaultSpec(text string, seed int64) (*faults.Spec, error) {
+	s, err := faults.ParseSpec(text)
+	if err != nil {
+		return nil, fmt.Errorf("faults %q: %s (clauses: global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, fail|repair=link:A-B@DUR or router:ID@DUR, seed=N)",
+			text, strings.TrimPrefix(err.Error(), "faults: "))
+	}
+	if seed != 0 {
+		s.Seed = seed
+	}
+	return s, nil
+}

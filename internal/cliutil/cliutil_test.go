@@ -1,0 +1,85 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"dragonfly/internal/mapping"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/workload"
+)
+
+// TestParsers is the table-driven sweep over every flag parser the commands
+// share: each bad input must produce a one-line error that names the valid
+// choices (so the user never needs the source to fix a typo), and no input
+// may panic.
+func TestParsers(t *testing.T) {
+	tests := []struct {
+		name    string
+		parse   func() (interface{}, error)
+		want    interface{} // ignored when wantErr is non-empty
+		wantErr string      // substring the error must contain
+	}{
+		{"machine/theta", func() (interface{}, error) { m, err := Machine("theta", "", "mini"); return label(m), err }, "dragonfly:g9-r6x16-n4", ""},
+		{"machine/deprecated-alias", func() (interface{}, error) { m, err := Machine("", "mini", "theta"); return label(m), err }, "dragonfly:g4-r2x4-n2", ""},
+		{"machine/fallback", func() (interface{}, error) { m, err := Machine("", "", "dfplus-mini"); return label(m), err }, "dragonfly+:g5-l8-s4-n4", ""},
+		{"machine/unknown", func() (interface{}, error) { m, err := Machine("summit", "", "theta"); return label(m), err }, nil, "want dfplus, dfplus-mini, mini, theta"},
+
+		{"placement/one", func() (interface{}, error) { return Placement(" rand ") }, placement.RandomNode, ""},
+		{"placement/unknown", func() (interface{}, error) { return Placement("spiral") }, nil, "want cont, cab, chas, rotr, or rand"},
+		{"placements/list", func() (interface{}, error) { p, err := Placements("cont, rand"); return len(p), err }, 2, ""},
+		{"placements/bad-element", func() (interface{}, error) { return Placements("cont,spiral") }, nil, `placement "spiral"`},
+		{"placements/empty", func() (interface{}, error) { return Placements("") }, nil, "want cont"},
+
+		{"routing/min", func() (interface{}, error) { return Routing("min") }, routing.Minimal, ""},
+		{"routing/unknown", func() (interface{}, error) { return Routing("ugal5") }, nil, "want min or adp"},
+		{"routings/list", func() (interface{}, error) { m, err := Routings("min,adp"); return len(m), err }, 2, ""},
+		{"routings/bad-element", func() (interface{}, error) { return Routings("min,") }, nil, "want min or adp"},
+
+		{"mapping/identity", func() (interface{}, error) { return Mapping("identity") }, mapping.Identity, ""},
+		{"mapping/unknown", func() (interface{}, error) { return Mapping("hilbert") }, nil, "want identity, shuffle, router-packed, group-packed"},
+
+		{"background/none", func() (interface{}, error) { _, on, err := Background("none"); return on, err }, false, ""},
+		{"background/uniform", func() (interface{}, error) { k, _, err := Background("uniform"); return k, err }, workload.UniformRandom, ""},
+		{"background/bursty", func() (interface{}, error) { k, _, err := Background("bursty"); return k, err }, workload.Bursty, ""},
+		{"background/unknown", func() (interface{}, error) { _, _, err := Background("storm"); return nil, err }, nil, "want none, uniform, or bursty"},
+
+		{"faults/empty", func() (interface{}, error) { s, err := FaultSpec("", 0); return s.Empty(), err }, true, ""},
+		{"faults/spec", func() (interface{}, error) { s, err := FaultSpec("global=0.25,seed=9", 0); return s.Seed, err }, int64(9), ""},
+		{"faults/seed-override", func() (interface{}, error) { s, err := FaultSpec("global=0.25,seed=9", 4); return s.Seed, err }, int64(4), ""},
+		{"faults/bad-clause", func() (interface{}, error) { return FaultSpec("global=2", 0) }, nil, "clauses: global=FRAC"},
+		{"faults/unknown-key", func() (interface{}, error) { return FaultSpec("cables=3", 0) }, nil, "clauses: global=FRAC"},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.parse()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("accepted invalid input (got %v)", got)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not name the valid choices (want substring %q)", err, tc.wantErr)
+				}
+				if strings.Contains(err.Error(), "\n") {
+					t.Fatalf("error is not one line: %q", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("rejected valid input: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func label(m interface{ Label() string }) interface{} {
+	if m == nil {
+		return nil
+	}
+	return m.Label()
+}

@@ -1,9 +1,25 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// runSafe is Run with a panic firewall: one wedged or buggy configuration
+// becomes that config's error instead of tearing down the whole batch (and,
+// under a parallel sweep, every sibling worker with it). The stack trace
+// rides in the error so the failure stays debuggable.
+func runSafe(cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("core: %s: panic: %v\n%s", cfg.Name(), r, debug.Stack())
+		}
+	}()
+	return Run(cfg)
+}
 
 // RunBatch executes independent simulation configs across a bounded worker
 // pool and returns their results in config order. Each simulation remains a
@@ -26,7 +42,7 @@ func RunBatch(cfgs []Config, parallel int) ([]*Result, error) {
 	errs := make([]error, len(cfgs))
 	if parallel <= 1 {
 		for i, cfg := range cfgs {
-			results[i], errs[i] = Run(cfg)
+			results[i], errs[i] = runSafe(cfg)
 		}
 	} else {
 		next := make(chan int)
@@ -36,7 +52,7 @@ func RunBatch(cfgs []Config, parallel int) ([]*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], errs[i] = Run(cfgs[i])
+					results[i], errs[i] = runSafe(cfgs[i])
 				}
 			}()
 		}

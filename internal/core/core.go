@@ -10,6 +10,7 @@ import (
 
 	"dragonfly/internal/audit"
 	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/metrics"
 	"dragonfly/internal/network"
@@ -44,9 +45,26 @@ type Config struct {
 	// Seed drives every random stream of the run.
 	Seed int64
 
+	// Faults, when non-nil and non-empty, degrades the fabric before (and,
+	// with scheduled events, during) the run: the spec resolves to a
+	// deterministic fault set, routing turns fault-aware, and traffic lost
+	// on dead equipment is dropped with exact accounting (see Result's
+	// DroppedPackets/RouteErr). An empty spec leaves the run byte-identical
+	// to a healthy one — the fault machinery is not even wired in.
+	Faults *faults.Spec
+
 	// MaxSimTime aborts a run at this simulated time (0 = unlimited); the
 	// result then carries the partial progress, with Completed = false.
 	MaxSimTime des.Time
+
+	// WatchdogEvents / WatchdogTime arm the DES livelock watchdog: the run
+	// fails with a diagnostic (instead of spinning forever) once it executes
+	// that many events or passes that virtual time. Zero disables either
+	// limit. Unlike MaxSimTime, a trip is an error, not a partial result —
+	// it means the simulator wedged, which healthy and faulted runs alike
+	// must never do.
+	WatchdogEvents uint64
+	WatchdogTime   des.Time
 
 	// Audit attaches the runtime invariant auditor (package audit): credit
 	// conservation, byte/packet conservation, VC-class monotonicity, time
@@ -86,6 +104,15 @@ type Result struct {
 	// Duration is the simulated time consumed; Events the DES event count.
 	Duration des.Time
 	Events   uint64
+
+	// Faulted-fabric outcome: traffic lost on dead equipment, and the first
+	// injection-time routing failure (wrapping routing.ErrUnreachable) when
+	// the placement spanned a partition. The run still drains and closes
+	// every message, so unreachability degrades to an accounted lossy result
+	// rather than an error. All zero/nil on a healthy fabric.
+	DroppedPackets int64
+	DroppedBytes   int64
+	RouteErr       error
 
 	// Audit carries the invariant auditor's check counts and any recorded
 	// violations; nil unless Config.Audit was set.
@@ -148,9 +175,31 @@ func Run(cfg Config) (*Result, error) {
 	}
 	eng := des.New()
 	root := des.NewRNG(cfg.Seed, "core")
+	// A non-empty fault spec degrades the fabric; an empty one is skipped
+	// entirely so healthy runs stay byte-identical with or without the flag.
+	var fset *faults.Set
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		fset, err = faults.Resolve(cfg.Faults, topo)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Params.Route.Health = fset
+	}
 	fab, err := network.New(eng, topo, cfg.Params, cfg.Routing, root.Stream("fabric"))
 	if err != nil {
 		return nil, err
+	}
+	if fset != nil {
+		for _, ev := range fset.Events() {
+			ev := ev
+			eng.At(ev.At, func() {
+				fset.Apply(ev)
+				fab.ApplyHealthChange()
+			})
+		}
+	}
+	if cfg.WatchdogEvents > 0 || cfg.WatchdogTime > 0 {
+		eng.SetWatchdog(cfg.WatchdogEvents, cfg.WatchdogTime, fab.WatchdogDiagnostic)
 	}
 	var aud *audit.Auditor
 	if cfg.Audit {
@@ -206,6 +255,9 @@ func Run(cfg Config) (*Result, error) {
 	if bg != nil {
 		bg.Stop()
 	}
+	if err := eng.Tripped(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Name(), err)
+	}
 	fab.FinishStats()
 
 	res := &Result{
@@ -219,7 +271,9 @@ func Run(cfg Config) (*Result, error) {
 		BackgroundPeakLoad: peak,
 		Duration:           eng.Now(),
 		Events:             eng.Processed(),
+		RouteErr:           fab.RouteError(),
 	}
+	res.DroppedPackets, res.DroppedBytes = fab.DropStats()
 	if aud != nil {
 		aud.Finish(eng.Pending() == 0)
 		s := aud.Summary()

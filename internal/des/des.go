@@ -150,6 +150,14 @@ type Engine struct {
 	processed uint64
 	running   bool
 	observer  func(Time)
+
+	// Livelock watchdog (see SetWatchdog). wdArmed folds both limits into
+	// one branch on the event loop's hot path.
+	wdArmed     bool
+	wdMaxEvents uint64
+	wdMaxTime   Time
+	wdDiag      func() string
+	wdErr       *WatchdogError
 }
 
 // SetObserver installs fn to be called with the timestamp of every executed
@@ -224,6 +232,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	e.running = true
 	defer func() { e.running = false }()
 	for e.pq.len() > 0 && e.pq.ev[0].at <= deadline {
+		if e.wdArmed && e.watchdogTrip(e.pq.ev[0].at) {
+			break
+		}
 		ev := e.pq.pop()
 		e.now = ev.at
 		e.processed++
@@ -236,8 +247,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Step executes exactly one event, reporting whether one was available.
+// A tripped watchdog stops Step like it stops RunUntil.
 func (e *Engine) Step() bool {
 	if e.pq.len() == 0 {
+		return false
+	}
+	if e.wdArmed && e.watchdogTrip(e.pq.ev[0].at) {
 		return false
 	}
 	ev := e.pq.pop()

@@ -1,0 +1,76 @@
+package des
+
+import "fmt"
+
+// WatchdogError reports a tripped simulation watchdog: the run exceeded its
+// event-count or virtual-time budget, which in a drain-to-empty simulator
+// means livelock (events breeding events) or a stall that keeps rescheduling
+// itself. The error carries the engine state at the trip point plus the
+// model's own diagnostic, so the failure is debuggable from the message
+// alone rather than from a hung process.
+type WatchdogError struct {
+	Events      uint64 // events executed when the watchdog fired
+	Now         Time   // virtual time of the last executed event
+	Pending     int    // events still queued
+	LimitEvents uint64 // configured event budget (0 = unlimited)
+	LimitTime   Time   // configured virtual-time budget (0 = unlimited)
+	Diagnostic  string // model-supplied state dump, may be empty
+}
+
+func (w *WatchdogError) Error() string {
+	s := fmt.Sprintf("des: watchdog tripped after %d events at t=%v (%d pending; limits: %d events, %v)",
+		w.Events, w.Now, w.Pending, w.LimitEvents, w.LimitTime)
+	if w.Diagnostic != "" {
+		s += "\n" + w.Diagnostic
+	}
+	return s
+}
+
+// SetWatchdog arms (or with zero limits disarms) the engine's livelock
+// watchdog. A run trips when it has executed maxEvents events, or when the
+// next event's timestamp exceeds maxTime; either limit is unlimited at 0.
+// On a trip the engine stops executing — RunUntil returns with the queue
+// intact — and Tripped reports a WatchdogError built with diag's output
+// (diag may be nil). A tripped engine stays stopped: further Run/Step calls
+// execute nothing. Disarmed, the watchdog costs one predictable branch per
+// event.
+func (e *Engine) SetWatchdog(maxEvents uint64, maxTime Time, diag func() string) {
+	e.wdMaxEvents = maxEvents
+	e.wdMaxTime = maxTime
+	e.wdDiag = diag
+	e.wdArmed = maxEvents > 0 || maxTime > 0
+}
+
+// Tripped returns the WatchdogError if the watchdog has fired, else nil.
+func (e *Engine) Tripped() error {
+	if e.wdErr == nil {
+		return nil // typed nil must not escape into a non-nil error interface
+	}
+	return e.wdErr
+}
+
+// watchdogTrip reports whether the engine must stop before executing the
+// event scheduled at next, recording the error on the first trip. Called
+// only when armed, so the healthy path pays a single flag check.
+func (e *Engine) watchdogTrip(next Time) bool {
+	if e.wdErr != nil {
+		return true
+	}
+	if (e.wdMaxEvents == 0 || e.processed < e.wdMaxEvents) &&
+		(e.wdMaxTime == 0 || next <= e.wdMaxTime) {
+		return false
+	}
+	var diag string
+	if e.wdDiag != nil {
+		diag = e.wdDiag()
+	}
+	e.wdErr = &WatchdogError{
+		Events:      e.processed,
+		Now:         e.now,
+		Pending:     e.pq.len(),
+		LimitEvents: e.wdMaxEvents,
+		LimitTime:   e.wdMaxTime,
+		Diagnostic:  diag,
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package des
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWatchdogEventBudget: a self-rescheduling livelock trips the event
+// budget; the engine stops with the queue intact and stays stopped.
+func TestWatchdogEventBudget(t *testing.T) {
+	e := New()
+	e.SetWatchdog(100, 0, func() string { return "model state" })
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(0, tick)
+	e.Run()
+
+	err := e.Tripped()
+	if err == nil {
+		t.Fatal("livelock did not trip the watchdog")
+	}
+	var w *WatchdogError
+	if !errors.As(err, &w) {
+		t.Fatalf("Tripped() = %T, want *WatchdogError", err)
+	}
+	if w.Events != 100 || w.LimitEvents != 100 {
+		t.Fatalf("trip at %d events (limit %d), want 100", w.Events, w.LimitEvents)
+	}
+	if w.Pending == 0 {
+		t.Fatal("trip report shows an empty queue for a livelocked run")
+	}
+	if !strings.Contains(err.Error(), "model state") {
+		t.Fatalf("diagnostic missing from message: %q", err.Error())
+	}
+	if e.Step() {
+		t.Fatal("Step executed an event on a tripped engine")
+	}
+	if before := e.Processed(); e.Run() >= 0 && e.Processed() != before {
+		t.Fatal("Run executed events on a tripped engine")
+	}
+}
+
+// TestWatchdogTimeBudget: virtual time running away past the budget trips
+// before the offending event executes.
+func TestWatchdogTimeBudget(t *testing.T) {
+	e := New()
+	e.SetWatchdog(0, 50*Microsecond, nil)
+	var last Time = -1
+	var tick func()
+	tick = func() {
+		last = e.Now()
+		e.Schedule(10*Microsecond, tick)
+	}
+	e.Schedule(0, tick)
+	e.Run()
+
+	var w *WatchdogError
+	if !errors.As(e.Tripped(), &w) {
+		t.Fatalf("Tripped() = %v, want *WatchdogError", e.Tripped())
+	}
+	if last > 50*Microsecond {
+		t.Fatalf("event executed at %v, past the %v budget", last, 50*Microsecond)
+	}
+	if w.LimitTime != 50*Microsecond {
+		t.Fatalf("trip reports limit %v, want %v", w.LimitTime, 50*Microsecond)
+	}
+}
+
+// TestWatchdogDisarmed: zero limits arm nothing; a finite run completes with
+// no trip and identical results to an unwatched engine.
+func TestWatchdogDisarmed(t *testing.T) {
+	run := func(arm bool) (uint64, Time) {
+		e := New()
+		if arm {
+			e.SetWatchdog(1_000_000, MaxTime, nil)
+		}
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 500 {
+				e.Schedule(3, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		end := e.Run()
+		if e.Tripped() != nil {
+			t.Fatalf("finite run tripped: %v", e.Tripped())
+		}
+		return e.Processed(), end
+	}
+	p1, t1 := run(false)
+	p2, t2 := run(true)
+	if p1 != p2 || t1 != t2 {
+		t.Fatalf("generous watchdog changed the run: (%d, %v) vs (%d, %v)", p1, t1, p2, t2)
+	}
+	e := New()
+	e.SetWatchdog(0, 0, nil)
+	e.Schedule(0, func() {})
+	e.Run()
+	if e.Tripped() != nil {
+		t.Fatal("zero limits must disarm the watchdog")
+	}
+}

@@ -23,17 +23,24 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/network"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/workload"
 )
+
+// defaultWatchdogEvents is the DES stall-watchdog budget armed on every
+// experiment cell: orders of magnitude beyond any legitimate quick- or
+// paper-scale run, so a trip always means a wedged simulation.
+const defaultWatchdogEvents = 10_000_000_000
 
 // Scale selects the experiment size.
 type Scale int
@@ -84,6 +91,12 @@ type Options struct {
 	// (core.Config.Audit): any flow-control, conservation, or routing
 	// violation fails the experiment instead of silently skewing a figure.
 	Audit bool
+	// Faults degrades the fabric of every simulation cell with the given
+	// fault spec (extension beyond the paper; the dfsweep -faults flag).
+	// Nil or an empty spec leaves the fault machinery out entirely, so the
+	// paper-reproduction reports stay byte-identical. The resilience sweep
+	// (figr) drives its own fault fractions and ignores this option.
+	Faults *faults.Spec
 	// DisablePooling turns off the allocation-avoidance machinery — the
 	// fabric's packet/credit free lists and the router path cache + hop
 	// arena — so every packet and route allocates fresh storage. Outputs
@@ -161,6 +174,8 @@ func (r *Runner) Run(id string) (*Report, error) {
 		return r.XMap()
 	case "xmulti":
 		return r.XMulti()
+	case "figr":
+		return r.FigureR()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %s; extensions: %s)",
 			id, strings.Join(IDs(), ", "), strings.Join(ExtensionIDs(), ", "))
@@ -315,6 +330,9 @@ func (r *Runner) finish(rep *Report) (*Report, error) {
 		// Default machines add no note, keeping the paper-reproduction
 		// reports (and their golden snapshots) byte-stable.
 		rep.Notes = append(rep.Notes, fmt.Sprintf("machine=%s (extension beyond the paper)", r.opts.Machine.Label()))
+	}
+	if !r.opts.Faults.Empty() && rep.ID != "figr" {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("faults=%s (degraded fabric, extension beyond the paper)", r.opts.Faults))
 	}
 	if r.opts.DataDir != "" {
 		if err := rep.WriteCSV(r.opts.DataDir); err != nil {
@@ -482,8 +500,17 @@ func (r *Runner) resultFor(app string, cell core.Cell, msgScale float64, bg *wor
 	return e.res, e.err
 }
 
-// runCell executes one simulation cell, uncached.
-func (r *Runner) runCell(rq simReq) (*core.Result, error) {
+// runCell executes one simulation cell, uncached. The panic firewall turns
+// a wedged cell into that cell's error: under the parallel executor a bare
+// panic would kill sibling workers mid-run and lose the whole figure.
+func (r *Runner) runCell(rq simReq) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = fmt.Errorf("experiments: %s under %s: panic: %v\n%s",
+				rq.app, rq.cell.Name(), p, debug.Stack())
+		}
+	}()
 	tr, err := r.appTrace(rq.app)
 	if err != nil {
 		return nil, err
@@ -502,6 +529,11 @@ func (r *Runner) runCell(rq simReq) (*core.Result, error) {
 		MsgScale:  rq.msgScale,
 		Seed:      r.opts.Seed,
 		Audit:     r.opts.Audit,
+		Faults:    r.opts.Faults,
+		// The stall watchdog is always armed: a wedged cell (a degraded
+		// fabric, a flow-control bug) fails with a queue diagnostic instead
+		// of hanging the sweep. The budget is far beyond any legitimate run.
+		WatchdogEvents: defaultWatchdogEvents,
 	}
 	if rq.bg != nil {
 		b := *rq.bg
@@ -509,7 +541,7 @@ func (r *Runner) runCell(rq simReq) (*core.Result, error) {
 		// Interference runs cannot drain the queue; bound them.
 		cfg.MaxSimTime = des.Second
 	}
-	res, err := core.Run(cfg)
+	res, err = core.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %s: %w", rq.app, rq.cell.Name(), err)
 	}

@@ -18,7 +18,7 @@ import (
 // (xmulti).
 
 // ExtensionIDs lists the extension experiments.
-func ExtensionIDs() []string { return []string{"xmap", "xmulti"} }
+func ExtensionIDs() []string { return []string{"xmap", "xmulti", "figr"} }
 
 // XMap studies task mapping (the paper's stated future work): AMG — the
 // neighbor-heavy application — on a random-router allocation under every
@@ -41,13 +41,15 @@ func (r *Runner) XMap() (*Report, error) {
 	var cfgs []core.Config
 	for _, pol := range mapping.All() {
 		cfgs = append(cfgs, core.Config{
-			Topology:  r.machine(),
-			Params:    network.DefaultParams(),
-			Placement: placement.RandomRouter,
-			Routing:   routing.Adaptive,
-			Mapping:   pol,
-			Trace:     tr,
-			Seed:      r.opts.Seed,
+			Topology:       r.machine(),
+			Params:         network.DefaultParams(),
+			Placement:      placement.RandomRouter,
+			Routing:        routing.Adaptive,
+			Mapping:        pol,
+			Trace:          tr,
+			Seed:           r.opts.Seed,
+			Faults:         r.opts.Faults,
+			WatchdogEvents: defaultWatchdogEvents,
 		})
 	}
 	results, err := core.RunBatch(cfgs, r.parallel())

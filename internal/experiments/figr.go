@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/faults"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+)
+
+// FigureR is the resilience sweep, an extension beyond the paper: the
+// paper's localizing-vs-balancing trade-off re-examined on a degraded
+// fabric. For a growing fraction of failed global links (one deterministic
+// fault draw per fraction, shared by every cell so all strategies face the
+// same broken machine), the CR benchmark runs under the extreme placements
+// x both routings; each cell reports communication-time slowdown against
+// its own healthy baseline. A cell whose traffic hit a partition is marked
+// "unreach" — the run still drains with every lost byte accounted, and the
+// second table shows the loss.
+func (r *Runner) FigureR() (*Report, error) {
+	fracs := []float64{0, 0.1, 0.25, 0.5}
+	cells := []core.Cell{
+		{Placement: placement.Contiguous, Routing: routing.Minimal},
+		{Placement: placement.Contiguous, Routing: routing.Adaptive},
+		{Placement: placement.RandomNode, Routing: routing.Minimal},
+		{Placement: placement.RandomNode, Routing: routing.Adaptive},
+	}
+	rep := &Report{
+		ID:    "figr",
+		Title: "Resilience sweep: comm-time slowdown vs failed global links (extension beyond the paper)",
+		Notes: []string{
+			"CR benchmark; per fraction, one seeded fault draw degrades the machine for every cell",
+			"slowdown is against the same cell at fraction 0; unreach = placement spanned a partition (lossy run, see drops table)",
+		},
+	}
+
+	tr, err := r.appTrace("CR")
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []core.Config
+	for _, p := range fracs {
+		for _, cell := range cells {
+			cfg := core.Config{
+				Topology:  r.machine(),
+				Params:    network.DefaultParams(),
+				Placement: cell.Placement,
+				Routing:   cell.Routing,
+				Trace:     tr,
+				Seed:      r.opts.Seed,
+				Audit:     r.opts.Audit,
+				// Degraded fabrics must fail loudly, never hang: generous
+				// budgets that no legitimate run approaches.
+				WatchdogEvents: 10_000_000_000,
+			}
+			if p > 0 {
+				cfg.Faults = &faults.Spec{GlobalFrac: p, Seed: r.opts.Seed}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := core.RunBatch(cfgs, r.parallel())
+	if err != nil {
+		return nil, err
+	}
+
+	cols := []string{"failed_global_frac"}
+	for _, c := range cells {
+		cols = append(cols, c.Name())
+	}
+	slow := Table{Title: "CR comm-time slowdown vs healthy fabric", Columns: cols}
+	drops := Table{Title: "Dropped packets (traffic to unreachable destinations)", Columns: cols}
+
+	baseline := make([]float64, len(cells))
+	for fi, p := range fracs {
+		srow := []string{fmtF(p)}
+		drow := []string{fmtF(p)}
+		for ci := range cells {
+			res := results[fi*len(cells)+ci]
+			if !res.Completed {
+				return nil, fmt.Errorf("experiments: figr %s at frac %g did not complete", cells[ci].Name(), p)
+			}
+			ms := res.MaxCommTime().Milliseconds()
+			r.progressf("ran CR %-9s frac=%-4g simtime=%v dropped=%d",
+				cells[ci].Name(), p, res.Duration, res.DroppedPackets)
+			switch {
+			case p == 0:
+				baseline[ci] = ms
+				srow = append(srow, "1.00x")
+			case res.RouteErr != nil:
+				srow = append(srow, "unreach")
+			default:
+				srow = append(srow, fmt.Sprintf("%.2fx", ms/baseline[ci]))
+			}
+			drow = append(drow, fmt.Sprintf("%d", res.DroppedPackets))
+		}
+		slow.Rows = append(slow.Rows, srow)
+		drops.Rows = append(drops.Rows, drow)
+	}
+	rep.Tables = append(rep.Tables, slow, drops)
+	return r.finish(rep)
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"dragonfly/internal/topology"
 )
 
 // The golden-run regression suite: committed byte-exact snapshots of small
@@ -23,9 +25,11 @@ import (
 // and commit the rewritten files under testdata/golden with a justification.
 
 // goldenIDs are the anchored experiments: fig2 exercises the trace
-// generators alone, fig3 the full placement x routing simulation grid, and
-// fig8 the background-interference path.
-var goldenIDs = []string{"fig2", "fig3", "fig8"}
+// generators alone, fig3 the full placement x routing simulation grid,
+// fig8 the background-interference path, and figr the degraded-fabric
+// resilience sweep (on the mini machine, so the snapshot also anchors the
+// fault model's deterministic draw and the fault-aware routing layer).
+var goldenIDs = []string{"fig2", "fig3", "fig8", "figr"}
 
 func updateGolden() bool { return os.Getenv("UPDATE_GOLDEN") == "1" }
 
@@ -76,7 +80,15 @@ func TestGoldenReports(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			dir := t.TempDir()
-			r := NewRunner(Options{Scale: ScaleQuick, Seed: 1, DataDir: dir, Parallel: 1})
+			opts := Options{Scale: ScaleQuick, Seed: 1, DataDir: dir, Parallel: 1}
+			if id == "figr" {
+				// The resilience sweep is anchored on the mini preset: small
+				// enough to keep the suite fast, and a fixed named machine so
+				// the fault draw is pinned independently of the quick-scale
+				// default.
+				opts.Machine = topology.Mini()
+			}
+			r := NewRunner(opts)
 			rep, err := r.Run(id)
 			if err != nil {
 				t.Fatal(err)

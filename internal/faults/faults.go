@@ -1,0 +1,241 @@
+// Package faults is the seeded, deterministic fault model of the simulator:
+// it marks routers and links of an interconnect as failed, either statically
+// before a run (explicit IDs, or "fail fraction p of global/local links and
+// k routers") or dynamically through scheduled failure/repair events the DES
+// engine fires mid-run.
+//
+// The resolved Set implements topology.Health, the SPI health view the
+// routing and network layers consult. Resolution is a pure function of
+// (Spec, seed, machine shape): the random draws come from named des.RNG
+// streams over deterministic enumerations (topology.GlobalConns order,
+// LocalNeighbors order), so the same spec on the same machine always fails
+// the same equipment — the property that keeps faulted runs byte-identical
+// across repeats and worker counts.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// Spec describes which equipment to fail. The zero value fails nothing.
+type Spec struct {
+	// GlobalFrac fails round(GlobalFrac * |global links|) global links,
+	// drawn uniformly without replacement. Must be in [0, 1].
+	GlobalFrac float64
+	// LocalFrac fails round(LocalFrac * |local links|) local links.
+	LocalFrac float64
+	// Routers fails this many routers, drawn uniformly.
+	Routers int
+
+	// FailRouters fails these routers explicitly.
+	FailRouters []topology.RouterID
+	// FailLinks fails the wired link(s) between each router pair: the
+	// local link if the pair is locally connected, otherwise every
+	// parallel global channel between the two routers.
+	FailLinks [][2]topology.RouterID
+
+	// Seed drives the random draws above. Independent of the simulation
+	// seed so the same fault pattern can be replayed under different
+	// traffic seeds.
+	Seed int64
+
+	// Events are dynamic failures/repairs applied at simulated times.
+	Events []Event
+}
+
+// Event is a scheduled fault transition: at time At, the named router or
+// router-pair link fails (or is repaired).
+type Event struct {
+	At     des.Time
+	Repair bool
+	// IsRouter selects between the router and the link form.
+	IsRouter bool
+	Router   topology.RouterID
+	A, B     topology.RouterID
+}
+
+func (e Event) String() string {
+	verb := "fail"
+	if e.Repair {
+		verb = "repair"
+	}
+	if e.IsRouter {
+		return fmt.Sprintf("%s=router:%d@%s", verb, e.Router, time.Duration(e.At))
+	}
+	return fmt.Sprintf("%s=link:%d-%d@%s", verb, e.A, e.B, time.Duration(e.At))
+}
+
+// Empty reports whether the spec fails nothing, statically or dynamically.
+func (s *Spec) Empty() bool {
+	if s == nil {
+		return true
+	}
+	return s.GlobalFrac == 0 && s.LocalFrac == 0 && s.Routers == 0 &&
+		len(s.FailRouters) == 0 && len(s.FailLinks) == 0 && len(s.Events) == 0
+}
+
+// String renders the spec in the ParseSpec grammar (canonical clause order).
+func (s *Spec) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var parts []string
+	if s.GlobalFrac != 0 {
+		parts = append(parts, "global="+strconv.FormatFloat(s.GlobalFrac, 'g', -1, 64))
+	}
+	if s.LocalFrac != 0 {
+		parts = append(parts, "local="+strconv.FormatFloat(s.LocalFrac, 'g', -1, 64))
+	}
+	if s.Routers != 0 {
+		parts = append(parts, "routers="+strconv.Itoa(s.Routers))
+	}
+	for _, r := range s.FailRouters {
+		parts = append(parts, fmt.Sprintf("router=%d", r))
+	}
+	for _, l := range s.FailLinks {
+		parts = append(parts, fmt.Sprintf("link=%d-%d", l[0], l[1]))
+	}
+	for _, ev := range s.Events {
+		parts = append(parts, ev.String())
+	}
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec decodes the CLI fault grammar: comma-separated clauses
+//
+//	global=FRAC        fail FRAC of the global links (0..1)
+//	local=FRAC         fail FRAC of the local links
+//	routers=K          fail K random routers
+//	router=ID          fail router ID
+//	link=A-B           fail the wired link(s) between routers A and B
+//	fail=link:A-B@DUR  schedule a link failure at simulated time DUR
+//	fail=router:ID@DUR schedule a router failure
+//	repair=...@DUR     schedule the matching repair
+//	seed=N             seed of the random draws
+//
+// DUR uses Go duration syntax ("200us", "1.5ms"). An empty string parses to
+// the empty spec.
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(text, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "global", "local":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 || math.IsNaN(f) {
+				return nil, fmt.Errorf("faults: %s=%q: want a fraction in [0, 1]", key, val)
+			}
+			if key == "global" {
+				s.GlobalFrac = f
+			} else {
+				s.LocalFrac = f
+			}
+		case "routers":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 0 {
+				return nil, fmt.Errorf("faults: routers=%q: want a non-negative count", val)
+			}
+			s.Routers = k
+		case "router":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("faults: router=%q: want a router ID", val)
+			}
+			s.FailRouters = append(s.FailRouters, topology.RouterID(r))
+		case "link":
+			a, b, err := parsePair(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: link=%q: %v", val, err)
+			}
+			s.FailLinks = append(s.FailLinks, [2]topology.RouterID{a, b})
+		case "fail", "repair":
+			ev, err := parseEvent(val, key == "repair")
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+			}
+			s.Events = append(s.Events, ev)
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: seed=%q: want an integer", val)
+			}
+			s.Seed = n
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q (have global, local, routers, router, link, fail, repair, seed)", key)
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}
+
+func parsePair(val string) (a, b topology.RouterID, err error) {
+	as, bs, ok := strings.Cut(val, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("want A-B router pair")
+	}
+	ai, err1 := strconv.Atoi(as)
+	bi, err2 := strconv.Atoi(bs)
+	if err1 != nil || err2 != nil || ai < 0 || bi < 0 {
+		return 0, 0, fmt.Errorf("want A-B router pair")
+	}
+	if ai == bi {
+		return 0, 0, fmt.Errorf("endpoints are equal")
+	}
+	return topology.RouterID(ai), topology.RouterID(bi), nil
+}
+
+func parseEvent(val string, repair bool) (Event, error) {
+	body, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("want TARGET@TIME (e.g. link:3-40@200us)")
+	}
+	d, err := time.ParseDuration(at)
+	if err != nil || d < 0 {
+		return Event{}, fmt.Errorf("bad time %q: want a Go duration", at)
+	}
+	ev := Event{At: des.Time(d.Nanoseconds()), Repair: repair}
+	kind, target, ok := strings.Cut(body, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("want link:A-B or router:ID before @")
+	}
+	switch kind {
+	case "router":
+		r, err := strconv.Atoi(target)
+		if err != nil || r < 0 {
+			return Event{}, fmt.Errorf("bad router ID %q", target)
+		}
+		ev.IsRouter = true
+		ev.Router = topology.RouterID(r)
+	case "link":
+		a, b, err := parsePair(target)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad link %q: %v", target, err)
+		}
+		ev.A, ev.B = a, b
+	default:
+		return Event{}, fmt.Errorf("unknown target kind %q (want link or router)", kind)
+	}
+	return ev, nil
+}

@@ -1,0 +1,42 @@
+package faults_test
+
+import (
+	"testing"
+
+	"dragonfly/internal/faults"
+)
+
+// FuzzParseSpec: the CLI fault grammar must never panic, and every accepted
+// spec must round-trip — String() renders text that re-parses to the same
+// canonical rendering. A parse-accepted spec that fails to re-parse (or
+// drifts across the round trip) would mean the -faults flag and logs disagree
+// about what was failed.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("global=0.25,local=0.1,routers=3,seed=42")
+	f.Add("router=7,link=3-40")
+	f.Add("fail=link:3-40@200us,repair=link:3-40@1.5ms")
+	f.Add("fail=router:12@1ms,repair=router:12@2ms,seed=9")
+	f.Add("global=1,local=0")
+	f.Add("global=nan")
+	f.Add("link=5-5")
+	f.Add("fail=link:3-40")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := faults.ParseSpec(text)
+		if err != nil {
+			return
+		}
+		rendered := s.String()
+		s2, err := faults.ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", text, rendered, err)
+		}
+		if got := s2.String(); got != rendered {
+			t.Fatalf("round trip drifted: %q -> %q -> %q", text, rendered, got)
+		}
+		if s.Empty() != s2.Empty() {
+			t.Fatalf("round trip changed emptiness of %q", text)
+		}
+	})
+}

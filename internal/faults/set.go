@@ -1,0 +1,284 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+)
+
+// Set is a resolved fault set over one machine: the concrete routers and
+// links currently down, plus the pending dynamic event timeline. It
+// implements topology.Health. Mutation (Apply, FailRouter, ...) is only
+// legal between the health-rebuild points the core layer drives — the
+// routing tables and fabric re-read the view after every change.
+type Set struct {
+	topo topology.Interconnect
+
+	routerDown []bool
+	nRouters   int // count of down routers
+
+	localDown  map[uint64]bool // pairKey(a, b) of down local links
+	globalDown map[uint64]bool // portKey(r, port), both endpoints of a down cable
+
+	// globalPeer resolves (router, port) -> far end, for the router-alive
+	// half of GlobalLinkUp; pairConns resolves a router pair -> its
+	// parallel global cables, for the link=A-B form.
+	globalPeer map[uint64]topology.RouterID
+	pairConns  map[uint64][]topology.GlobalConn
+
+	events []Event // sorted by At
+
+	nGlobalConns, nLocalPairs int // machine totals, for Describe
+}
+
+func pairKey(a, b topology.RouterID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func portKey(r topology.RouterID, port int) uint64 {
+	return uint64(uint32(r))<<16 | uint64(uint16(port))
+}
+
+// Resolve expands a spec against a machine into the concrete fault set,
+// drawing the random selections from named streams of spec.Seed. It
+// validates explicit IDs against the machine and rejects pairs that are not
+// wired.
+func Resolve(spec *Spec, topo topology.Interconnect) (*Set, error) {
+	s := &Set{
+		topo:       topo,
+		routerDown: make([]bool, topo.NumRouters()),
+		localDown:  map[uint64]bool{},
+		globalDown: map[uint64]bool{},
+		globalPeer: map[uint64]topology.RouterID{},
+		pairConns:  map[uint64][]topology.GlobalConn{},
+	}
+	conns := topo.GlobalConns()
+	s.nGlobalConns = len(conns)
+	for _, c := range conns {
+		s.globalPeer[portKey(c.A, c.APort)] = c.B
+		s.globalPeer[portKey(c.B, c.BPort)] = c.A
+		k := pairKey(c.A, c.B)
+		s.pairConns[k] = append(s.pairConns[k], c)
+	}
+	localPairs := s.localPairs()
+	s.nLocalPairs = len(localPairs)
+	if spec == nil {
+		return s, nil
+	}
+
+	if spec.GlobalFrac < 0 || spec.GlobalFrac > 1 || math.IsNaN(spec.GlobalFrac) {
+		return nil, fmt.Errorf("faults: global fraction %v outside [0, 1]", spec.GlobalFrac)
+	}
+	if spec.LocalFrac < 0 || spec.LocalFrac > 1 || math.IsNaN(spec.LocalFrac) {
+		return nil, fmt.Errorf("faults: local fraction %v outside [0, 1]", spec.LocalFrac)
+	}
+	if spec.Routers < 0 || spec.Routers > topo.NumRouters() {
+		return nil, fmt.Errorf("faults: routers=%d outside [0, %d]", spec.Routers, topo.NumRouters())
+	}
+
+	rng := des.NewRNG(spec.Seed, "faults")
+	if k := int(math.Round(spec.GlobalFrac * float64(len(conns)))); k > 0 {
+		perm := rng.Stream("global").Perm(len(conns))
+		for _, i := range perm[:k] {
+			s.failConn(conns[i])
+		}
+	}
+	if k := int(math.Round(spec.LocalFrac * float64(len(localPairs)))); k > 0 {
+		perm := rng.Stream("local").Perm(len(localPairs))
+		for _, i := range perm[:k] {
+			s.localDown[localPairs[i]] = true
+		}
+	}
+	if spec.Routers > 0 {
+		perm := rng.Stream("router").Perm(topo.NumRouters())
+		for _, r := range perm[:spec.Routers] {
+			s.FailRouter(topology.RouterID(r))
+		}
+	}
+
+	for _, r := range spec.FailRouters {
+		if int(r) < 0 || int(r) >= topo.NumRouters() {
+			return nil, fmt.Errorf("faults: router %d outside [0, %d)", r, topo.NumRouters())
+		}
+		s.FailRouter(r)
+	}
+	for _, l := range spec.FailLinks {
+		if err := s.checkPair(l[0], l[1]); err != nil {
+			return nil, err
+		}
+		s.FailLink(l[0], l[1])
+	}
+	for _, ev := range spec.Events {
+		if ev.IsRouter {
+			if int(ev.Router) < 0 || int(ev.Router) >= topo.NumRouters() {
+				return nil, fmt.Errorf("faults: event %v: router outside [0, %d)", ev, topo.NumRouters())
+			}
+		} else if err := s.checkPair(ev.A, ev.B); err != nil {
+			return nil, fmt.Errorf("faults: event %v: %v", ev, err)
+		}
+	}
+	s.events = append(s.events, spec.Events...)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	return s, nil
+}
+
+// localPairs enumerates every local link once, as pairKeys in deterministic
+// (router-major, LocalNeighbors) order.
+func (s *Set) localPairs() []uint64 {
+	var pairs []uint64
+	for r := 0; r < s.topo.NumRouters(); r++ {
+		a := topology.RouterID(r)
+		for _, b := range s.topo.LocalNeighbors(a) {
+			if b > a {
+				pairs = append(pairs, pairKey(a, b))
+			}
+		}
+	}
+	return pairs
+}
+
+func (s *Set) checkPair(a, b topology.RouterID) error {
+	n := topology.RouterID(s.topo.NumRouters())
+	if a < 0 || b < 0 || a >= n || b >= n {
+		return fmt.Errorf("faults: link %d-%d: router outside [0, %d)", a, b, n)
+	}
+	if !s.topo.LocalConnected(a, b) && len(s.pairConns[pairKey(a, b)]) == 0 {
+		return fmt.Errorf("faults: link %d-%d: routers are not wired to each other", a, b)
+	}
+	return nil
+}
+
+func (s *Set) failConn(c topology.GlobalConn) {
+	s.globalDown[portKey(c.A, c.APort)] = true
+	s.globalDown[portKey(c.B, c.BPort)] = true
+}
+
+func (s *Set) repairConn(c topology.GlobalConn) {
+	delete(s.globalDown, portKey(c.A, c.APort))
+	delete(s.globalDown, portKey(c.B, c.BPort))
+}
+
+// RouterUp implements topology.Health.
+func (s *Set) RouterUp(r topology.RouterID) bool {
+	return !s.routerDown[r]
+}
+
+// LocalLinkUp implements topology.Health.
+func (s *Set) LocalLinkUp(a, b topology.RouterID) bool {
+	if s.routerDown[a] || s.routerDown[b] {
+		return false
+	}
+	return !s.localDown[pairKey(a, b)]
+}
+
+// GlobalLinkUp implements topology.Health.
+func (s *Set) GlobalLinkUp(r topology.RouterID, port int) bool {
+	if s.routerDown[r] {
+		return false
+	}
+	peer, ok := s.globalPeer[portKey(r, port)]
+	if !ok || s.routerDown[peer] {
+		return false
+	}
+	return !s.globalDown[portKey(r, port)]
+}
+
+// FailRouter marks r down; all incident links go down with it (the Health
+// lookups fold the router state in).
+func (s *Set) FailRouter(r topology.RouterID) {
+	if !s.routerDown[r] {
+		s.routerDown[r] = true
+		s.nRouters++
+	}
+}
+
+// RepairRouter brings r back up. Links that were failed independently stay
+// down.
+func (s *Set) RepairRouter(r topology.RouterID) {
+	if s.routerDown[r] {
+		s.routerDown[r] = false
+		s.nRouters--
+	}
+}
+
+// FailLink downs the wired link(s) between a and b: the local link if the
+// pair is locally connected, plus every parallel global cable between them.
+func (s *Set) FailLink(a, b topology.RouterID) {
+	if s.topo.LocalConnected(a, b) {
+		s.localDown[pairKey(a, b)] = true
+	}
+	for _, c := range s.pairConns[pairKey(a, b)] {
+		s.failConn(c)
+	}
+}
+
+// RepairLink brings the link(s) between a and b back up.
+func (s *Set) RepairLink(a, b topology.RouterID) {
+	delete(s.localDown, pairKey(a, b))
+	for _, c := range s.pairConns[pairKey(a, b)] {
+		s.repairConn(c)
+	}
+}
+
+// Apply executes one dynamic event against the set.
+func (s *Set) Apply(ev Event) {
+	switch {
+	case ev.IsRouter && ev.Repair:
+		s.RepairRouter(ev.Router)
+	case ev.IsRouter:
+		s.FailRouter(ev.Router)
+	case ev.Repair:
+		s.RepairLink(ev.A, ev.B)
+	default:
+		s.FailLink(ev.A, ev.B)
+	}
+}
+
+// Events returns the dynamic timeline, sorted by time. The slice is shared.
+func (s *Set) Events() []Event { return s.events }
+
+// Empty reports whether nothing is down now and no events are scheduled —
+// the case where the core layer skips fault wiring entirely so healthy runs
+// stay byte-identical to a build without this package.
+func (s *Set) Empty() bool {
+	return s.nRouters == 0 && len(s.localDown) == 0 && len(s.globalDown) == 0 && len(s.events) == 0
+}
+
+// DownRouters returns the down routers in ascending order.
+func (s *Set) DownRouters() []topology.RouterID {
+	var out []topology.RouterID
+	for r, down := range s.routerDown {
+		if down {
+			out = append(out, topology.RouterID(r))
+		}
+	}
+	return out
+}
+
+// DownGlobalConns counts global cables currently marked down (independently
+// of router state).
+func (s *Set) DownGlobalConns() int { return len(s.globalDown) / 2 }
+
+// DownLocalLinks counts local links currently marked down.
+func (s *Set) DownLocalLinks() int { return len(s.localDown) }
+
+// Describe summarizes the set deterministically, for logs and reports.
+func (s *Set) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: %d/%d global links, %d/%d local links, %d/%d routers down",
+		s.DownGlobalConns(), s.nGlobalConns, s.DownLocalLinks(), s.nLocalPairs,
+		s.nRouters, s.topo.NumRouters())
+	if len(s.events) > 0 {
+		fmt.Fprintf(&b, "; %d scheduled events", len(s.events))
+	}
+	return b.String()
+}
+
+var _ topology.Health = (*Set)(nil)

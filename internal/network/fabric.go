@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"strings"
 
 	"dragonfly/internal/des"
 	"dragonfly/internal/routing"
@@ -17,6 +18,7 @@ type message struct {
 	remaining   int64 // bytes not yet packetized at the source NIC
 	injected    int64 // bytes fully serialized onto the terminal link
 	received    int64 // bytes delivered at the destination NIC
+	dropped     int64 // bytes lost to dead equipment (faulted fabrics only)
 	onInjected  func(des.Time)
 	onDelivered func(des.Time)
 }
@@ -56,25 +58,34 @@ func (n *nic) dequeueMsg() {
 
 // fillInjection synthesizes at most one pending injection request for the
 // terminal link. The route is computed here, per packet, so adaptive
-// routing senses congestion at injection time (UGAL-L).
+// routing senses congestion at injection time (UGAL-L). On a faulted fabric
+// a chunk with no live route is discarded at the NIC (accounted as dropped,
+// with the first routing error recorded for the run to surface) and the
+// loop moves on, so an unreachable destination drains instead of wedging
+// the send queue.
 func (n *nic) fillInjection(l *link) {
-	if len(l.reqs) > 0 || n.queued() == 0 {
-		return
+	for len(l.reqs) == 0 && n.queued() > 0 {
+		msg := n.sendq[n.sendHead]
+		bytes := int(msg.remaining)
+		if bytes > n.f.params.PacketBytes {
+			bytes = n.f.params.PacketBytes
+		}
+		msg.remaining -= int64(bytes)
+		if msg.remaining == 0 {
+			n.dequeueMsg()
+		}
+		path, err := n.f.chooser.TryRoute(msg.src, msg.dst)
+		if err != nil {
+			n.f.noteRouteError(err)
+			n.f.dropBytes(msg, bytes, false)
+			continue
+		}
+		pkt := n.f.newPacket(msg, bytes, path)
+		if n.f.obs != nil {
+			n.f.obs.RouteComputed(msg.src, msg.dst, pkt.path)
+		}
+		l.enqueue(request{pkt: pkt, vc: 0, in: nil})
 	}
-	msg := n.sendq[n.sendHead]
-	bytes := int(msg.remaining)
-	if bytes > n.f.params.PacketBytes {
-		bytes = n.f.params.PacketBytes
-	}
-	msg.remaining -= int64(bytes)
-	if msg.remaining == 0 {
-		n.dequeueMsg()
-	}
-	pkt := n.f.newPacket(msg, bytes, n.f.chooser.Route(msg.src, msg.dst))
-	if n.f.obs != nil {
-		n.f.obs.RouteComputed(msg.src, msg.dst, pkt.path)
-	}
-	l.enqueue(request{pkt: pkt, vc: 0, in: nil})
 }
 
 // injected is called when a packet has fully left the NIC.
@@ -115,6 +126,14 @@ type Fabric struct {
 	linkFlat   []*link
 
 	msgSeq uint64
+
+	// Faulted-fabric accounting: packets/bytes discarded on dead equipment,
+	// and the first routing failure (ErrUnreachable) seen at injection —
+	// surfaced by core.Run after the run drains. All zero on a healthy
+	// fabric.
+	droppedPackets int64
+	droppedBytes   int64
+	routeErr       error
 
 	// Free lists, recycled at delivery (packets) and on credit arrival
 	// (tokens). Each fabric is driven by one sequential engine owned by one
@@ -254,16 +273,105 @@ func New(eng *des.Engine, topo topology.Interconnect, p Params, mech routing.Mec
 	}
 
 	// Global links: two directed links per bidirectional connection;
-	// parallel links between the same router pair are kept distinct.
+	// parallel links between the same router pair are kept distinct. Each
+	// direction remembers its source-side global port — the identity the
+	// health view addresses global channels by.
 	for _, c := range conns {
-		for _, dir := range [][2]topology.RouterID{{c.A, c.B}, {c.B, c.A}} {
+		for _, dir := range [2]struct {
+			from, to topology.RouterID
+			port     int
+		}{{c.A, c.B, c.APort}, {c.B, c.A, c.BPort}} {
 			l := newLink(f, routing.Global, routing.NumGlobalVC, p.GlobalVCBuffer, p.GlobalBandwidth, p.GlobalLatency)
-			l.from, l.to = dir[0], dir[1]
+			l.from, l.to, l.gport = dir.from, dir.to, int32(dir.port)
 			place(l)
 		}
 	}
+	f.RefreshHealth()
 	return f, nil
 }
+
+// RefreshHealth re-reads Params.Route.Health and brings every channel's
+// down state in line with it: newly failed links drain their queued
+// requests as drops, repaired links wake their transmitters. The core layer
+// calls it after applying each dynamic fault event (after rebuilding the
+// routing tables); with no health view installed it is a no-op, so healthy
+// runs are untouched.
+func (f *Fabric) RefreshHealth() {
+	h := f.params.Route.Health
+	if h == nil {
+		return
+	}
+	for _, l := range f.links {
+		var up bool
+		switch {
+		case l.kind == routing.Terminal:
+			// Terminal wires share their router's fate; routing rejects
+			// traffic from/to dead routers, so no separate down state.
+			continue
+		case l.kind == routing.Local:
+			up = h.LocalLinkUp(l.from, l.to)
+		default:
+			up = h.GlobalLinkUp(l.from, int(l.gport))
+		}
+		switch {
+		case !up && !l.down:
+			f.failLink(l)
+		case up && l.down:
+			l.down = false
+			l.kick()
+		}
+	}
+}
+
+// ApplyHealthChange is the one call a dynamic fault event needs after
+// mutating the installed health view: routing tables rebuild first (new
+// traffic avoids the dead equipment), then the channels sync (queued traffic
+// on newly dead links drops, repaired links wake).
+func (f *Fabric) ApplyHealthChange() {
+	f.chooser.RebuildHealth()
+	f.RefreshHealth()
+}
+
+// failLink marks a channel dead and discards its queued transmission
+// requests: each queued packet's upstream buffer is freed and the bytes are
+// accounted as dropped (packets already on the wire drop at arrival; see
+// arrive). Freed input-queue heads immediately request an alternate output,
+// which can no longer pick this channel.
+func (f *Fabric) failLink(l *link) {
+	l.down = true
+	reqs := l.reqs
+	l.reqs = nil
+	l.pending = 0
+	for _, r := range reqs {
+		if r.in == nil {
+			// An injection request: the chunk never left the NIC.
+			msg := r.pkt.msg
+			bytes := r.pkt.bytes
+			f.freePacket(r.pkt)
+			f.dropBytes(msg, bytes, false)
+			continue
+		}
+		q := r.in
+		q.link.release(q.vc, r.pkt.bytes)
+		q.pop()
+		f.dropPacket(r.pkt)
+		if q.len() > 0 {
+			f.requestNext(q)
+		}
+	}
+}
+
+// DropStats reports the packets and bytes discarded on dead equipment; both
+// are zero on a healthy fabric.
+func (f *Fabric) DropStats() (packets, bytes int64) {
+	return f.droppedPackets, f.droppedBytes
+}
+
+// RouteError returns the first injection-time routing failure of the run
+// (wrapping routing.ErrUnreachable), or nil. Traffic between disconnected
+// partitions is dropped and accounted, so the run still drains; this error
+// is how the condition surfaces to the caller.
+func (f *Fabric) RouteError() error { return f.routeErr }
 
 // NodeCount returns the number of nodes the fabric serves.
 func (f *Fabric) NodeCount() int { return f.topo.NumNodes() }
@@ -313,9 +421,63 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDeliv
 	f.termIn[src].kick()
 }
 
+// noteRouteError records the first routing failure of the run; core.Run
+// surfaces it after the engine drains.
+func (f *Fabric) noteRouteError(err error) {
+	if f.routeErr == nil {
+		f.routeErr = err
+	}
+}
+
+// dropBytes accounts the loss of part of a message on the faulted fabric
+// and closes the message when every byte is either delivered or dropped.
+// injected distinguishes a packet lost in the network from a chunk the NIC
+// discarded before injection.
+func (f *Fabric) dropBytes(msg *message, bytes int, injected bool) {
+	msg.dropped += int64(bytes)
+	f.droppedPackets++
+	f.droppedBytes += int64(bytes)
+	if f.obs != nil {
+		f.obs.PacketDropped(msg.id, bytes, msg.dropped, injected)
+	}
+	f.closeIfDone(msg)
+}
+
+// dropPacket discards an in-network packet (its buffer occupancy must
+// already be released by the caller) and recycles its storage.
+func (f *Fabric) dropPacket(pkt *packet) {
+	msg := pkt.msg
+	bytes := pkt.bytes
+	f.freePacket(pkt)
+	f.dropBytes(msg, bytes, true)
+}
+
+// closeIfDone fires a message's completion callbacks once every byte is
+// accounted for. On a healthy fabric dropped is always zero and delivery
+// alone closes the message; a lossy close also completes the send side (the
+// NIC will never finish injecting a message it partly discarded), so the
+// replay layer's ranks terminate instead of waiting forever.
+func (f *Fabric) closeIfDone(msg *message) {
+	if msg.received+msg.dropped != msg.total {
+		return
+	}
+	if msg.dropped > 0 && msg.injected < msg.total && msg.onInjected != nil {
+		msg.onInjected(f.eng.Now())
+	}
+	if msg.onDelivered != nil {
+		msg.onDelivered(f.eng.Now())
+	}
+}
+
 // arrive lands a packet at the far end of link l: either the destination
-// NIC (ejection), or the next router's input buffer.
+// NIC (ejection), or the next router's input buffer. A packet whose link
+// failed while it was on the wire is dropped here.
 func (f *Fabric) arrive(l *link, vc int, pkt *packet) {
+	if l.down {
+		l.release(vc, pkt.bytes)
+		f.dropPacket(pkt)
+		return
+	}
 	if l.eject {
 		// The NIC drains instantly: free the buffer and account delivery.
 		l.release(vc, pkt.bytes)
@@ -333,41 +495,65 @@ func (f *Fabric) arrive(l *link, vc int, pkt *packet) {
 }
 
 // requestNext routes the head packet of an input queue to its output link.
+// On a faulted fabric a head packet whose next hop has no live channel left
+// is dropped, and the loop moves to the next head so the queue keeps
+// draining.
 func (f *Fabric) requestNext(q *inputQueue) {
-	pkt := q.headPkt()
-	here := q.link.to
-	if pkt.hop >= len(pkt.path.Hops) {
-		// Final router: eject toward the destination node.
-		out := f.termOut[pkt.msg.dst]
-		if out.from != here {
-			panic(fmt.Sprintf("network: packet for node %d ejecting at router %d, want %d",
-				pkt.msg.dst, here, out.from))
+	for {
+		pkt := q.headPkt()
+		here := q.link.to
+		if pkt.hop >= len(pkt.path.Hops) {
+			// Final router: eject toward the destination node.
+			out := f.termOut[pkt.msg.dst]
+			if out.from != here {
+				panic(fmt.Sprintf("network: packet for node %d ejecting at router %d, want %d",
+					pkt.msg.dst, here, out.from))
+			}
+			out.enqueue(request{pkt: pkt, vc: 0, in: q})
+			return
 		}
-		out.enqueue(request{pkt: pkt, vc: 0, in: q})
-		return
+		h := pkt.path.Hops[pkt.hop]
+		if h.From != here {
+			panic(fmt.Sprintf("network: packet at router %d but next hop starts at %d", here, h.From))
+		}
+		out := f.pickLink(h.From, h.To)
+		if out != nil {
+			out.enqueue(request{pkt: pkt, vc: int(h.VC), in: q})
+			return
+		}
+		// Dead end mid-route: every channel of the hop failed after the
+		// route was computed. Free this router's buffer and drop.
+		q.link.release(q.vc, pkt.bytes)
+		q.pop()
+		f.dropPacket(pkt)
+		if q.len() == 0 {
+			return
+		}
 	}
-	h := pkt.path.Hops[pkt.hop]
-	if h.From != here {
-		panic(fmt.Sprintf("network: packet at router %d but next hop starts at %d", here, h.From))
-	}
-	out := f.pickLink(h.From, h.To)
-	out.enqueue(request{pkt: pkt, vc: int(h.VC), in: q})
 }
 
-// pickLink resolves a hop to a physical channel; among parallel global
-// links joining the same router pair it picks the least backlogged.
+// pickLink resolves a hop to a physical channel; among parallel live links
+// joining the same router pair it picks the least backlogged. It returns
+// nil when every channel of the pair is down (only possible on a faulted
+// fabric).
 func (f *Fabric) pickLink(from, to topology.RouterID) *link {
 	ls := f.pairLinks(from, to)
 	switch len(ls) {
 	case 0:
 		panic(fmt.Sprintf("network: no link %d->%d", from, to))
 	case 1:
+		if ls[0].down {
+			return nil
+		}
 		return ls[0]
 	}
-	best := ls[0]
-	bestLoad := best.load()
-	for _, l := range ls[1:] {
-		if load := l.load(); load < bestLoad {
+	var best *link
+	var bestLoad int64
+	for _, l := range ls {
+		if l.down {
+			continue
+		}
+		if load := l.load(); best == nil || load < bestLoad {
 			best, bestLoad = l, load
 		}
 	}
@@ -394,9 +580,7 @@ func (f *Fabric) deliver(pkt *packet) {
 		f.obs.PacketDelivered(msg.id, msg.dst, pkt.bytes, msg.received)
 	}
 	f.freePacket(pkt)
-	if msg.received == msg.total && msg.onDelivered != nil {
-		msg.onDelivered(f.eng.Now())
-	}
+	f.closeIfDone(msg)
 }
 
 // OutputBacklog implements routing.Congestion: bytes queued or buffered on
@@ -462,4 +646,40 @@ func (f *Fabric) QueuedMessages() int {
 		n += nc.queued()
 	}
 	return n
+}
+
+// WatchdogDiagnostic renders a bounded snapshot of where traffic is stuck,
+// for the DES watchdog's trip report: NIC backlog, drop counters, and the
+// most congested routers by buffered bytes (queued requests plus reserved
+// receiver buffers on their outgoing channels).
+func (f *Fabric) WatchdogDiagnostic() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network: %d messages queued at NICs; %d packets (%d bytes) dropped",
+		f.QueuedMessages(), f.droppedPackets, f.droppedBytes)
+	occ := make([]int64, f.numRouters)
+	for _, l := range f.links {
+		if l.kind == routing.Terminal && l.eject {
+			continue
+		}
+		b := l.pending
+		for _, o := range l.occ {
+			b += int64(o)
+		}
+		occ[l.from] += b
+	}
+	const top = 5
+	for i := 0; i < top; i++ {
+		best, bestOcc := -1, int64(0)
+		for r, b := range occ {
+			if b > bestOcc {
+				best, bestOcc = r, b
+			}
+		}
+		if best < 0 {
+			break
+		}
+		fmt.Fprintf(&sb, "\nnetwork: router %d holds %d buffered bytes", best, bestOcc)
+		occ[best] = 0
+	}
+	return sb.String()
 }

@@ -134,6 +134,14 @@ type link struct {
 	vcCap   int
 	numVC   int
 
+	// down marks a failed channel on a faulted fabric: the transmitter is
+	// parked, pickLink skips it, and in-flight arrivals drop. gport is the
+	// source-side global port (global links only), the identity
+	// topology.Health addresses global channels by. Healthy fabrics never
+	// set down, so the flag costs a predicted-not-taken branch.
+	down  bool
+	gport int32
+
 	occ       []int // receiver-buffer bytes reserved, per VC
 	busyUntil des.Time
 	kickAt    des.Time // time of the earliest scheduled kick, -1 if none
@@ -242,6 +250,9 @@ func (l *link) kick() {
 // head-of-line-block others), serialize it, and hand the packet to the far
 // end after the wire latency.
 func (l *link) transmit() {
+	if l.down {
+		return // failed channel: requests were drained, arrivals will drop
+	}
 	now := l.f.eng.Now()
 	if l.busyUntil > now {
 		l.kick()

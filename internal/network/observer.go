@@ -44,6 +44,13 @@ type Observer interface {
 	// receivedBytes is the message's cumulative delivered count after this
 	// packet.
 	PacketDelivered(msgID uint64, dst topology.NodeID, bytes int, receivedBytes int64)
+
+	// PacketDropped reports bytes discarded on the faulted fabric: a packet
+	// lost to a dead link or router, or (injected == false) a chunk the NIC
+	// discarded because no live route existed at injection time.
+	// droppedBytes is the message's cumulative dropped count after this
+	// packet. Healthy-fabric runs never emit it.
+	PacketDropped(msgID uint64, bytes int, droppedBytes int64, injected bool)
 }
 
 // SetObserver installs (or, with nil, removes) the fabric's observer and

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/topology"
 	"dragonfly/internal/topotest"
 )
@@ -56,3 +57,43 @@ func BenchmarkRouteMinimalNoCache(b *testing.B) {
 func BenchmarkRouteAdaptiveNoCache(b *testing.B) {
 	benchRoute(b, topotest.Mini(b), Adaptive, Options{NoCache: true})
 }
+
+// Degraded-mode benchmarks: route computation with a quarter of the global
+// links dead. These bound the fault-mode overhead; the healthy-path
+// benchmarks above are the 0 allocs/op gate proving the Health nil check
+// costs nothing when no fault set is installed.
+func benchRouteFault(b *testing.B, mech Mechanism) {
+	topo := topotest.Mini(b)
+	set, err := faults.Resolve(&faults.Spec{GlobalFrac: 0.25, Seed: 3}, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewChooserOpts(topo, mech, des.NewRNG(1, "bench"), nil, Options{Health: set})
+	rng := des.NewRNG(2, "pairs")
+	const pairs = 1024
+	srcs := make([]topology.NodeID, 0, pairs)
+	dsts := make([]topology.NodeID, 0, pairs)
+	for len(srcs) < pairs {
+		s := topology.NodeID(rng.Intn(topo.NumNodes()))
+		d := topology.NodeID(rng.Intn(topo.NumNodes()))
+		if s == d {
+			continue
+		}
+		if _, err := c.TryRoute(s, d); err != nil {
+			continue // keep the loop on the routable (steady-state) pairs
+		}
+		srcs = append(srcs, s)
+		dsts = append(dsts, d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := c.TryRoute(srcs[i%pairs], dsts[i%pairs])
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Release(p)
+	}
+}
+
+func BenchmarkRouteFaultMinimal(b *testing.B)  { benchRouteFault(b, Minimal) }
+func BenchmarkRouteFaultAdaptive(b *testing.B) { benchRouteFault(b, Adaptive) }

@@ -1,9 +1,11 @@
 package routing_test
 
 import (
+	"errors"
 	"testing"
 
 	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
 )
@@ -127,6 +129,98 @@ func FuzzRoute(f *testing.F) {
 				t.Fatalf("route %d->%d crosses %d global links (VC classes allow %d)",
 					src, dst, g, routing.NumGlobalVC)
 			}
+		}
+	})
+}
+
+// FuzzRouteFaults is the degraded-fabric companion of FuzzRoute (whose
+// signature and corpus stay frozen): arbitrary machine shapes carry an
+// arbitrary seeded fault draw, and every TryRoute outcome must be either a
+// valid route touching only live equipment or the typed ErrUnreachable —
+// never a panic, a hang, or an untyped error.
+func FuzzRouteFaults(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), true, uint8(40), uint8(10), uint8(1), uint8(0))
+	f.Add(uint8(4), uint8(2), uint8(4), uint8(2), uint8(2), uint16(13), uint16(57), int64(42), false, uint8(100), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(5), uint8(1), uint8(2), uint8(3), uint8(1), uint16(9), uint16(9), int64(3), true, uint8(0), uint8(60), uint8(3), uint8(1))
+	f.Add(uint8(2), uint8(0), uint8(2), uint8(3), uint8(2), uint16(9), uint16(3), int64(3), false, uint8(25), uint8(25), uint8(2), uint8(1))
+	f.Add(uint8(6), uint8(2), uint8(3), uint8(1), uint8(2), uint16(200), uint16(7), int64(11), true, uint8(90), uint8(90), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, groups, rows, cols, nodesPer, extraPorts uint8,
+		srcRaw, dstRaw uint16, seed int64, adaptive bool, globalPct, localPct, routersK, family uint8) {
+		var topo topology.Interconnect
+		var err error
+		if family%2 == 0 {
+			topo, err = fuzzTopology(groups, rows, cols, nodesPer, extraPorts)
+		} else {
+			topo, err = fuzzPlusTopology(groups, rows, cols, nodesPer, extraPorts)
+		}
+		if err != nil {
+			t.Skip()
+		}
+		if topo.NumNodes() < 2 {
+			t.Skip()
+		}
+		spec := &faults.Spec{
+			GlobalFrac: float64(globalPct%101) / 100,
+			LocalFrac:  float64(localPct%101) / 100,
+			Routers:    int(routersK) % (topo.NumRouters() + 1),
+			Seed:       seed,
+		}
+		set, err := faults.Resolve(spec, topo)
+		if err != nil {
+			t.Fatalf("in-range spec %v rejected: %v", spec, err)
+		}
+		liveGlobal := map[[2]topology.RouterID]bool{}
+		for _, c := range topo.GlobalConns() {
+			if set.GlobalLinkUp(c.A, c.APort) {
+				liveGlobal[[2]topology.RouterID{c.A, c.B}] = true
+			}
+			if set.GlobalLinkUp(c.B, c.BPort) {
+				liveGlobal[[2]topology.RouterID{c.B, c.A}] = true
+			}
+		}
+		src := topology.NodeID(int(srcRaw) % topo.NumNodes())
+		dst := topology.NodeID(int(dstRaw) % topo.NumNodes())
+		if src == dst {
+			dst = topology.NodeID((int(dst) + 1) % topo.NumNodes())
+		}
+		mech := routing.Minimal
+		if adaptive {
+			mech = routing.Adaptive
+		}
+		rng := des.NewRNG(seed, "fuzz-faults").Stream("route")
+		ch := routing.NewChooserOpts(topo, mech, rng, fuzzCong{salt: seed}, routing.Options{Health: set})
+		rs, rd := topo.RouterOfNode(src), topo.RouterOfNode(dst)
+		for i := 0; i < 8; i++ {
+			p, err := ch.TryRoute(src, dst)
+			if err != nil {
+				if !errors.Is(err, routing.ErrUnreachable) {
+					t.Fatalf("machine %s %v %d->%d: untyped failure: %v", topo.Name(), mech, src, dst, err)
+				}
+				continue
+			}
+			if err := routing.Validate(topo, rs, rd, p); err != nil {
+				t.Fatalf("machine %s %v %d->%d: invalid route: %v\npath: %+v",
+					topo.Name(), mech, src, dst, err, p.Hops)
+			}
+			if g := p.GlobalHops(); g > routing.NumGlobalVC {
+				t.Fatalf("route %d->%d crosses %d global links (VC classes allow %d)", src, dst, g, routing.NumGlobalVC)
+			}
+			for _, h := range p.Hops {
+				if !set.RouterUp(h.From) || !set.RouterUp(h.To) {
+					t.Fatalf("%v %d->%d: hop %d->%d touches a failed router", mech, src, dst, h.From, h.To)
+				}
+				switch h.Kind {
+				case routing.Local:
+					if !set.LocalLinkUp(h.From, h.To) {
+						t.Fatalf("%v %d->%d: hop traverses failed local link %d-%d", mech, src, dst, h.From, h.To)
+					}
+				case routing.Global:
+					if !liveGlobal[[2]topology.RouterID{h.From, h.To}] {
+						t.Fatalf("%v %d->%d: hop traverses dead global pair %d-%d", mech, src, dst, h.From, h.To)
+					}
+				}
+			}
+			ch.Release(p)
 		}
 	})
 }

@@ -176,6 +176,14 @@ type Options struct {
 	// randomness are ever cached); the knob exists for the pooling
 	// equivalence tests and for memory-vs-speed debugging.
 	NoCache bool
+	// Health, when non-nil, switches the chooser to the fault-aware code
+	// path (see faultaware.go): routes avoid dead routers and links, fall
+	// back to non-minimal detours, and report ErrUnreachable from TryRoute
+	// on partitioned pairs. The deterministic minimal-path cache is
+	// bypassed in this mode because the live tables change under dynamic
+	// fault events. nil (the default) is the healthy fabric and costs one
+	// nil check per route.
+	Health topology.Health
 }
 
 // DefaultMinimalBias is the default misrouting threshold: a non-minimal
@@ -263,6 +271,16 @@ type Chooser struct {
 	freeHops [][]Hop
 	// candBuf is the reusable candidate scratch of adaptivePath.
 	candBuf []Path
+
+	// Degraded-mode state (all nil/unused while health is nil; see
+	// faultaware.go). liveNextHop/liveDist mirror the nextHop layout with
+	// BFS-over-live-links trees; the buffers are pickLiveGateway scratch.
+	health      topology.Health
+	liveNextHop []topology.RouterID
+	liveDist    []int32
+	bfsQueue    []topology.RouterID
+	gwBuf       []topology.Gateway
+	gwDistBuf   []int32
 }
 
 // NewChooser builds a route chooser with default Options. rng drives
@@ -314,6 +332,8 @@ func NewChooserOpts(topo topology.Interconnect, mech Mechanism, rng *des.RNG, co
 		c.pathCache = make([][]Hop, n)
 		c.pathState = make([]uint8, n)
 	}
+	c.health = opts.Health
+	c.RebuildHealth()
 	return c
 }
 
@@ -349,18 +369,35 @@ func (c *Chooser) Release(p Path) {
 	}
 }
 
-// Route computes the path for a packet from src to dst node.
+// Route computes the path for a packet from src to dst node. On a healthy
+// fabric it cannot fail; with Options.Health set, an unroutable pair panics
+// — callers that can face a partitioned fabric use TryRoute instead.
 func (c *Chooser) Route(src, dst topology.NodeID) Path {
+	p, err := c.TryRoute(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryRoute computes the path for a packet from src to dst node, reporting an
+// error wrapping ErrUnreachable when the faulted fabric has no live route
+// between the pair (including a dead endpoint router). With a nil
+// Options.Health the error is always nil.
+func (c *Chooser) TryRoute(src, dst topology.NodeID) (Path, error) {
 	rs := c.routerOf[src]
 	rd := c.routerOf[dst]
+	if c.health != nil {
+		return c.faultRoute(rs, rd)
+	}
 	if rs == rd {
-		return Path{}
+		return Path{}, nil
 	}
 	switch c.mech {
 	case Minimal:
-		return c.minimalPath(rs, rd)
+		return c.minimalPath(rs, rd), nil
 	case Adaptive:
-		return c.adaptivePath(rs, rd)
+		return c.adaptivePath(rs, rd), nil
 	default:
 		panic(fmt.Sprintf("routing: unknown mechanism %d", int(c.mech)))
 	}

@@ -1,0 +1,37 @@
+package topology
+
+// Health is the fabric-health view of an interconnect: which routers and
+// links are currently alive. A nil Health everywhere in the stack means "all
+// healthy" and costs nothing — consumers only consult the view when one is
+// installed, so the healthy-fabric hot path keeps its zero-allocation,
+// zero-branch-miss profile.
+//
+// Identification contract:
+//
+//   - Routers are identified by RouterID.
+//   - Local links are identified by their unordered router pair {a, b};
+//     failing a local link kills both directions (cables, not lanes).
+//   - Global links are identified by (router, port) of either endpoint:
+//     parallel global channels between the same group pair are distinct
+//     links, and the port disambiguates them. Implementations must treat
+//     the two endpoint namings of one cable — (a, aPort) and its
+//     GlobalPeer (b, bPort) — as the same link.
+//
+// A failed router implies every link incident to it (terminal, local, and
+// global) is unusable; implementations fold that into LocalLinkUp and
+// GlobalLinkUp so consumers need only one check per link.
+//
+// Determinism contract: a Health view is a pure function of its fault
+// specification, seed, and the machine shape — two views resolved from the
+// same inputs answer identically, which is what keeps faulted runs
+// reproducible (same seed, byte-identical report).
+type Health interface {
+	// RouterUp reports whether router r is alive.
+	RouterUp(r RouterID) bool
+	// LocalLinkUp reports whether the local link {a, b} and both of its
+	// endpoints are alive. Order of a and b does not matter.
+	LocalLinkUp(a, b RouterID) bool
+	// GlobalLinkUp reports whether the global link leaving router r at
+	// global port p — and both endpoint routers — are alive.
+	GlobalLinkUp(r RouterID, port int) bool
+}
