@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench bench-diff
+.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke
 
 build:
 	$(GO) build ./...
@@ -25,14 +25,25 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 
 # Refresh the in-repo performance snapshot (engine/fabric/routing
-# microbenches + artifact regeneration benches). Commit BENCH_des.json so
-# the perf trajectory is visible in history.
+# microbenches + artifact regeneration benches, plus the -scale suite's
+# big-machine construction/memory entries). Commit BENCH_des.json so the
+# perf trajectory is visible in history.
 bench:
-	$(GO) run ./cmd/dfbench -out BENCH_des.json
+	$(GO) run ./cmd/dfbench -scale -out BENCH_des.json
 
 # Allocation-regression gate: rerun the suites and fail if any benchmark's
-# allocs/op or B/op grew >20% past the committed BENCH_des.json. The
+# allocs/op or B/op grew >20% past the committed BENCH_des.json, or if the
+# scale suite's live_bytes/op / bytes_per_router grew likewise (a
+# reintroduced O(routers^2) table overshoots by orders of magnitude). The
 # allocation counts are deterministic, so this gate is machine-independent;
 # ns/op deltas print as advisory only.
 bench-diff:
-	$(GO) run ./cmd/dfbench -diff -against BENCH_des.json
+	$(GO) run ./cmd/dfbench -scale -diff -against BENCH_des.json
+
+# Big-machine shakeout: wire ~20k-router Dragonfly and Dragonfly+ machines,
+# route 1k validated sampled pairs each, and drive an audited traffic burst
+# under the DES stall watchdog. The 4096 MB memory budget (vs ~650 MB
+# measured) turns a quadratic-table regression into a clean CI failure
+# instead of an OOM kill; the whole target runs in well under a minute.
+scale-smoke: build
+	$(GO) run ./cmd/dfvalidate -scale-smoke

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"dragonfly/internal/cliutil"
+	"dragonfly/internal/topology"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -66,8 +67,24 @@ func main() {
 		against = flag.String("against", "BENCH_des.json", "committed snapshot to diff against (with -diff)")
 		cpuProf = flag.String("cpuprofile", "", "pass -cpuprofile to go test (requires exactly one package argument)")
 		memProf = flag.String("memprofile", "", "pass -memprofile to go test (requires exactly one package argument)")
+
+		scale       = flag.Bool("scale", false, "also run the big-machine construction/memory suite (see -scale-shape)")
+		scaleShape  = flag.String("scale-shape", "df,dfplus", "comma-separated scale shapes, family[:routers] (with -scale)")
+		routers     = flag.Int("routers", 20000, "router count for -scale-shape entries without an explicit :ROUTERS")
+		buildWorker = flag.Int("build-workers", 0, "machine-construction worker count; 0 = all CPUs")
 	)
 	flag.Parse()
+	if _, err := cliutil.BuildWorkers(*buildWorker); err != nil {
+		cliutil.Usagef("dfbench", "%v", err)
+	}
+	var scaleMachines []topology.Machine
+	if *scale {
+		ms, err := cliutil.ScaleShapes(*scaleShape, *routers)
+		if err != nil {
+			cliutil.Usagef("dfbench", "%v", err)
+		}
+		scaleMachines = ms
+	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = []string{"./internal/des", "./internal/network", "./internal/routing", "."}
@@ -112,6 +129,13 @@ func main() {
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatalf("no benchmark lines in output:\n%s", raw.String())
+	}
+	if *scale {
+		scaleBenches, err := runScaleSuite(scaleMachines)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, scaleBenches...)
 	}
 
 	if *diff {
@@ -168,13 +192,18 @@ func diffSnapshots(committedPath string, fresh Snapshot) error {
 	}
 
 	// Gates: >20% growth fails, with a small absolute slack so near-zero
-	// baselines (e.g. 0 allocs/op) don't trip on a single stray object.
+	// baselines (e.g. 0 allocs/op) don't trip on a single stray object. The
+	// scale-suite memory metrics gate with wider slack — post-GC live bytes
+	// wobble a little with runtime internals, but a reintroduced quadratic
+	// table overshoots any slack by orders of magnitude.
 	gates := []struct {
 		metric string
 		slack  float64
 	}{
 		{"allocs/op", 2},
 		{"B/op", 64},
+		{"live_bytes/op", 4 << 20},
+		{"bytes_per_router", 2048},
 	}
 
 	var failures []string

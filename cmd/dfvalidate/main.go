@@ -38,8 +38,29 @@ func main() {
 		maxError = flag.Float64("max-error", 0.001, "fail if ping relative error exceeds this")
 		faultStr = flag.String("faults", "", "additionally validate fault-aware routing on this degraded fabric (spec grammar as in dfsim -faults)")
 		faultSd  = flag.Int64("fault-seed", 0, "override the fault spec's seed= clause (0 keeps the spec's own seed)")
+
+		scaleSmoke  = flag.Bool("scale-smoke", false, "instead of the validation study, shake out synthesized big machines (see -scale-shape)")
+		scaleShape  = flag.String("scale-shape", "df,dfplus", "comma-separated scale-smoke shapes, family[:routers]")
+		routers     = flag.Int("routers", 20000, "router count for -scale-shape entries without an explicit :ROUTERS")
+		scalePairs  = flag.Int("scale-pairs", 1000, "sampled validated route pairs per scale-smoke shape")
+		budgetMB    = flag.Int64("mem-budget-mb", 4096, "scale-smoke fails if OS-visible memory exceeds this many MB")
+		buildWorker = flag.Int("build-workers", 0, "machine-construction worker count; 0 = all CPUs")
 	)
 	flag.Parse()
+	if _, err := cliutil.BuildWorkers(*buildWorker); err != nil {
+		cliutil.Usagef("dfvalidate", "%v", err)
+	}
+	if *scaleSmoke {
+		ms, err := cliutil.ScaleShapes(*scaleShape, *routers)
+		if err != nil {
+			cliutil.Usagef("dfvalidate", "%v", err)
+		}
+		if err := runScaleSmoke(ms, *scalePairs, *budgetMB); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("scale smoke PASSED")
+		return
+	}
 
 	m, err := cliutil.Machine(*topoName, *machine, "theta")
 	if err != nil {

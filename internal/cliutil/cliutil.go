@@ -10,10 +10,12 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dragonfly/internal/faults"
 	"dragonfly/internal/mapping"
+	"dragonfly/internal/par"
 	"dragonfly/internal/placement"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
@@ -113,6 +115,50 @@ func Background(s string) (kind workload.BackgroundKind, on bool, err error) {
 		return workload.Bursty, true, nil
 	}
 	return 0, false, fmt.Errorf("background %q: want none, uniform, or bursty", strings.TrimSpace(s))
+}
+
+// ScaleShape parses the -scale-shape flag into a synthesized big machine:
+// "family" or "family:routers" (e.g. "df:20000"), where an explicit
+// ":routers" suffix overrides the routers argument (the -routers flag).
+func ScaleShape(s string, routers int) (topology.Machine, error) {
+	name := strings.TrimSpace(s)
+	if base, count, ok := strings.Cut(name, ":"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if err != nil {
+			return nil, fmt.Errorf("scale shape %q: router count %q is not a number (want e.g. df:20000)", s, count)
+		}
+		name, routers = strings.TrimSpace(base), n
+	}
+	m, err := topology.ScaleConfig(name, routers)
+	if err != nil {
+		return nil, fmt.Errorf("scale shape %q: %s (want df or dfplus, optionally :ROUTERS, with -routers >= 1)",
+			s, strings.TrimPrefix(err.Error(), "topology: "))
+	}
+	return m, nil
+}
+
+// ScaleShapes parses a comma-separated -scale-shape sweep list.
+func ScaleShapes(csv string, routers int) ([]topology.Machine, error) {
+	var ms []topology.Machine
+	for _, s := range strings.Split(csv, ",") {
+		m, err := ScaleShape(s, routers)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// BuildWorkers validates the -build-workers flag and installs it as the
+// machine-construction worker count (0 restores the default of all CPUs),
+// returning the effective pool size.
+func BuildWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("build workers %d: want 0 (all CPUs) or a positive count", n)
+	}
+	par.SetWorkers(n)
+	return par.Workers(), nil
 }
 
 // FaultSpec parses the -faults grammar (see faults.ParseSpec) and applies

@@ -45,6 +45,18 @@ func TestParsers(t *testing.T) {
 		{"background/bursty", func() (interface{}, error) { k, _, err := Background("bursty"); return k, err }, workload.Bursty, ""},
 		{"background/unknown", func() (interface{}, error) { _, _, err := Background("storm"); return nil, err }, nil, "want none, uniform, or bursty"},
 
+		{"scale-shape/family-only", func() (interface{}, error) { m, err := ScaleShape("df", 2000); return label(m), err }, "dragonfly:g21-r6x16-n1", ""},
+		{"scale-shape/explicit-count", func() (interface{}, error) { m, err := ScaleShape(" dfplus:360 ", 2000); return label(m), err }, "dragonfly+:g10-l24-s12-n1", ""},
+		{"scale-shape/unknown-family", func() (interface{}, error) { return ScaleShape("torus:100", 0) }, nil, "want df or dfplus"},
+		{"scale-shape/bad-count", func() (interface{}, error) { return ScaleShape("df:many", 0) }, nil, "not a number"},
+		{"scale-shape/zero-routers", func() (interface{}, error) { return ScaleShape("df", 0) }, nil, "-routers >= 1"},
+		{"scale-shapes/list", func() (interface{}, error) { ms, err := ScaleShapes("df:200,dfplus:300", 0); return len(ms), err }, 2, ""},
+		{"scale-shapes/bad-element", func() (interface{}, error) { return ScaleShapes("df:200,ring", 0) }, nil, "want df or dfplus"},
+
+		{"build-workers/default", func() (interface{}, error) { n, err := BuildWorkers(0); return n > 0, err }, true, ""},
+		{"build-workers/explicit", func() (interface{}, error) { defer BuildWorkers(0); return BuildWorkers(3) }, 3, ""},
+		{"build-workers/negative", func() (interface{}, error) { return BuildWorkers(-2) }, nil, "want 0 (all CPUs) or a positive count"},
+
 		{"faults/empty", func() (interface{}, error) { s, err := FaultSpec("", 0); return s.Empty(), err }, true, ""},
 		{"faults/spec", func() (interface{}, error) { s, err := FaultSpec("global=0.25,seed=9", 0); return s.Seed, err }, int64(9), ""},
 		{"faults/seed-override", func() (interface{}, error) { s, err := FaultSpec("global=0.25,seed=9", 4); return s.Seed, err }, int64(4), ""},

@@ -1,0 +1,123 @@
+package network
+
+// Equivalence suite for the compressed router-pair link index: forcing
+// Params.Route.CompactTables must change only the fabric's lookup structures
+// — same seeds in, identical simulation out, link for link and event for
+// event, healthy or faulted.
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
+)
+
+// runTraffic drives a fixed random load through a fresh fabric and returns
+// its observable outcome: every link's stats plus the engine's event count
+// and final clock.
+func runTraffic(t *testing.T, topo topology.Interconnect, p Params) ([]LinkStat, uint64, des.Time) {
+	t.Helper()
+	eng := des.New()
+	f, err := New(eng, topo, p, routing.Adaptive, des.NewRNG(1, "eq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewRNG(2, "eq-load")
+	for m := 0; m < 400; m++ {
+		src := topology.NodeID(rng.Intn(topo.NumNodes()))
+		dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+		f.Send(src, dst, int64(rng.IntnRange(1, 64<<10)), nil, nil)
+	}
+	eng.Run()
+	f.FinishStats()
+	return f.LinkStats(), eng.Processed(), eng.Now()
+}
+
+func TestCompactIndexIdenticalSimulation(t *testing.T) {
+	topotest.EachSmall(t, func(t *testing.T, _ topology.Machine, topo topology.Interconnect) {
+		dense := DefaultParams()
+		compact := DefaultParams()
+		compact.Route.CompactTables = true
+		ds, dn, dt := runTraffic(t, topo, dense)
+		cs, cn, ct := runTraffic(t, topo, compact)
+		if dn != cn || dt != ct {
+			t.Fatalf("engine diverged: %d events @ %v dense vs %d @ %v compact", dn, dt, cn, ct)
+		}
+		if len(ds) != len(cs) {
+			t.Fatalf("link count %d dense vs %d compact", len(ds), len(cs))
+		}
+		for i := range ds {
+			if ds[i] != cs[i] {
+				t.Fatalf("link %d stats differ: dense %+v, compact %+v", i, ds[i], cs[i])
+			}
+		}
+	})
+}
+
+// TestCompactIndexIdenticalSimulationFaulted repeats the equivalence with a
+// quarter of the global links and a few locals dead, exercising RefreshHealth
+// and the drop paths over the compact index.
+func TestCompactIndexIdenticalSimulationFaulted(t *testing.T) {
+	topotest.EachSmall(t, func(t *testing.T, _ topology.Machine, topo topology.Interconnect) {
+		set, err := faults.Resolve(&faults.Spec{GlobalFrac: 0.25, LocalFrac: 0.05, Seed: 7}, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := DefaultParams()
+		dense.Route.Health = set
+		compact := dense
+		compact.Route.CompactTables = true
+		ds, dn, dt := runTraffic(t, topo, dense)
+		cs, cn, ct := runTraffic(t, topo, compact)
+		if dn != cn || dt != ct {
+			t.Fatalf("engine diverged: %d events @ %v dense vs %d @ %v compact", dn, dt, cn, ct)
+		}
+		for i := range ds {
+			if ds[i] != cs[i] {
+				t.Fatalf("link %d stats differ: dense %+v, compact %+v", i, ds[i], cs[i])
+			}
+		}
+	})
+}
+
+// TestCompactPairLinksMatchesDense compares the raw lookup on every router
+// pair of the mini machines: same links, same order (pickLink's tie break
+// depends on the order).
+func TestCompactPairLinksMatchesDense(t *testing.T) {
+	topotest.EachSmall(t, func(t *testing.T, _ topology.Machine, topo topology.Interconnect) {
+		p := DefaultParams()
+		cp := DefaultParams()
+		cp.Route.CompactTables = true
+		df, err := New(des.New(), topo, p, routing.Minimal, des.NewRNG(1, "d"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, err := New(des.New(), topo, cp, routing.Minimal, des.NewRNG(1, "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf.linkOff != nil {
+			t.Fatal("CompactTables did not select the compact index")
+		}
+		nR := topo.NumRouters()
+		for a := 0; a < nR; a++ {
+			for b := 0; b < nR; b++ {
+				dl := df.pairLinks(topology.RouterID(a), topology.RouterID(b))
+				cl := cf.pairLinks(topology.RouterID(a), topology.RouterID(b))
+				if len(dl) != len(cl) {
+					t.Fatalf("pair %d->%d: %d links dense vs %d compact", a, b, len(dl), len(cl))
+				}
+				for i := range dl {
+					// Same creation order means matching links share an ID.
+					if dl[i].id != cl[i].id {
+						t.Fatalf("pair %d->%d slot %d: link id %d dense vs %d compact",
+							a, b, i, dl[i].id, cl[i].id)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 3, 4, 7} {
+		prev := SetWorkers(w)
+		for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+			hits := make([]int64, n)
+			ForChunks(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestForChunksDeterministicOutput(t *testing.T) {
+	const n = 513
+	build := func(w int) []int {
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		out := make([]int, n)
+		ForChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i*i + 7
+			}
+		})
+		return out
+	}
+	want := build(1)
+	for _, w := range []int{2, 3, 8} {
+		got := build(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkersDefaultsPositive(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-5), want default", Workers())
+	}
+}

@@ -48,6 +48,18 @@ func BenchmarkRoutePlusAdaptive(b *testing.B) {
 	benchRoute(b, topotest.PlusMini(b), Adaptive, Options{})
 }
 
+// Compact-table equivalents: the big-machine compressed/lazy representation
+// (shared template, gateway shards, memoized path map) forced on the mini
+// machine, gated at the same 0 allocs/op as the dense fast path — map reads
+// and shard hits allocate nothing once the pair working set is warm.
+func BenchmarkRouteCompactMinimal(b *testing.B) {
+	benchRoute(b, topotest.Mini(b), Minimal, Options{CompactTables: true})
+}
+
+func BenchmarkRouteCompactAdaptive(b *testing.B) {
+	benchRoute(b, topotest.Mini(b), Adaptive, Options{CompactTables: true})
+}
+
 // BenchmarkRouteMinimalNoCache is the pre-pooling baseline: fresh hop
 // storage per call, kept so the cache/arena win stays visible in one run.
 func BenchmarkRouteMinimalNoCache(b *testing.B) {

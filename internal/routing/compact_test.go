@@ -1,0 +1,189 @@
+package routing
+
+// Equivalence suite for the big-machine compressed/lazy route tables. The
+// contract under test: Options.CompactTables must change only the chooser's
+// memory representation, never a route — same seeds in, byte-identical hops
+// out, healthy or faulted, on every machine and mechanism.
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
+	"dragonfly/internal/par"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
+)
+
+// saltedCong is a deterministic non-trivial congestion oracle so the adaptive
+// scoring actually discriminates between candidates.
+type saltedCong struct{}
+
+func (saltedCong) OutputBacklog(from, to topology.RouterID) int64 {
+	return int64((uint64(from)*2654435761 + uint64(to)*40503) % 9001)
+}
+
+// routeAll drives ch over a fixed deterministic pair sample, returning the
+// hop sequences (copied out of any shared/arena storage).
+func routeAll(t *testing.T, topo topology.Interconnect, ch *Chooser, n int) [][]Hop {
+	t.Helper()
+	rng := des.NewRNG(77, "cmp-pairs")
+	out := make([][]Hop, 0, n)
+	for len(out) < n {
+		s := topology.NodeID(rng.Intn(topo.NumNodes()))
+		d := topology.NodeID(rng.Intn(topo.NumNodes()))
+		p, err := ch.TryRoute(s, d)
+		if err != nil {
+			out = append(out, []Hop{{From: -1}}) // mark unreachable pairs
+			continue
+		}
+		out = append(out, append([]Hop(nil), p.Hops...))
+		ch.Release(p)
+	}
+	return out
+}
+
+func sameHops(a, b [][]Hop) (int, bool) {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+// TestCompactRoutesIdenticalToDense: dense and compact choosers with the same
+// seed must emit identical routes, pair for pair — the memoized path map
+// caches exactly the pair set the dense cache classifies as deterministic, so
+// RNG stream consumption is identical too (any divergence would desynchronize
+// every route after it and fail loudly here).
+func TestCompactRoutesIdenticalToDense(t *testing.T) {
+	topotest.Each(t, func(t *testing.T, _ topology.Machine, topo topology.Interconnect) {
+		for _, mech := range []Mechanism{Minimal, Adaptive} {
+			for _, gw := range []GatewayPolicy{GatewaySpread, GatewayNearest, GatewayRandom} {
+				dense := NewChooserOpts(topo, mech, des.NewRNG(11, "eq"), saltedCong{},
+					Options{Gateway: gw})
+				compact := NewChooserOpts(topo, mech, des.NewRNG(11, "eq"), saltedCong{},
+					Options{Gateway: gw, CompactTables: true})
+				if compact.pathMemo == nil || compact.pathState != nil {
+					t.Fatal("CompactTables did not select the memoized tables")
+				}
+				a := routeAll(t, topo, dense, 400)
+				b := routeAll(t, topo, compact, 400)
+				if i, ok := sameHops(a, b); !ok {
+					t.Fatalf("%v/gw=%d: route %d differs between dense and compact", mech, gw, i)
+				}
+			}
+		}
+	})
+}
+
+// TestCompactFaultRoutesIdenticalToDense repeats the equivalence on a
+// degraded fabric, which exercises the resized liveNextHop tables under the
+// template-backed representation.
+func TestCompactFaultRoutesIdenticalToDense(t *testing.T) {
+	topotest.Each(t, func(t *testing.T, _ topology.Machine, topo topology.Interconnect) {
+		set, err := faults.Resolve(&faults.Spec{GlobalFrac: 0.25, LocalFrac: 0.05, Seed: 7}, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mech := range []Mechanism{Minimal, Adaptive} {
+			dense := NewChooserOpts(topo, mech, des.NewRNG(13, "feq"), saltedCong{},
+				Options{Health: set})
+			compact := NewChooserOpts(topo, mech, des.NewRNG(13, "feq"), saltedCong{},
+				Options{Health: set, CompactTables: true})
+			a := routeAll(t, topo, dense, 300)
+			b := routeAll(t, topo, compact, 300)
+			if i, ok := sameHops(a, b); !ok {
+				t.Fatalf("%v: fault route %d differs between dense and compact", mech, i)
+			}
+		}
+	})
+}
+
+// TestCompactWorkerCountInvariance: chooser construction is sharded across
+// the par pool; the routes it produces must not depend on the worker count.
+func TestCompactWorkerCountInvariance(t *testing.T) {
+	topo := topotest.Mini(t)
+	build := func(w int) [][]Hop {
+		prev := par.SetWorkers(w)
+		defer par.SetWorkers(prev)
+		ch := NewChooserOpts(topo, Adaptive, des.NewRNG(3, "wrk"), saltedCong{},
+			Options{CompactTables: true})
+		return routeAll(t, topo, ch, 300)
+	}
+	want := build(1)
+	for _, w := range []int{2, 3, 8} {
+		if i, ok := sameHops(want, build(w)); !ok {
+			t.Fatalf("workers=%d: route %d differs from single-worker build", w, i)
+		}
+	}
+}
+
+// columnFirst breaks group isomorphism (group 1 takes its column hop before
+// its row hop) to force the chooser onto its dense per-group next-hop
+// fallback; routes must still validate against the machine's own
+// LocalNextHop.
+type columnFirst struct{ *topology.Dragonfly }
+
+func (l columnFirst) LocalNextHop(cur, dst topology.RouterID) topology.RouterID {
+	if l.GroupOfRouter(cur) == 1 && cur != dst {
+		cc, cd := l.RouterCoord(cur), l.RouterCoord(dst)
+		if cc.Row != cd.Row {
+			return l.RouterAt(cc.Group, cd.Row, cc.Col)
+		}
+		return dst
+	}
+	return l.Dragonfly.LocalNextHop(cur, dst)
+}
+
+func TestCompactFallsBackOnNonIsomorphicGroups(t *testing.T) {
+	topo := columnFirst{topology.MustNew(topology.Mini())}
+	ch := NewChooserOpts(topo, Minimal, des.NewRNG(5, "ni"), nil,
+		Options{CompactTables: true})
+	if ch.tmplNext != nil || ch.nextHop == nil {
+		t.Fatal("non-isomorphic machine still got the shared template")
+	}
+	for i := 0; i < 400; i++ {
+		rng := des.NewRNG(int64(i), "ni-pair")
+		s := topology.NodeID(rng.Intn(topo.NumNodes()))
+		d := topology.NodeID(rng.Intn(topo.NumNodes()))
+		p := ch.Route(s, d)
+		rs, rd := topo.RouterOfNode(s), topo.RouterOfNode(d)
+		if err := Validate(topo, rs, rd, p); err != nil {
+			t.Fatalf("fallback route %d->%d: %v", s, d, err)
+		}
+		ch.Release(p)
+	}
+}
+
+// TestCompactMemoSteadyStateAllocFree: once the pair working set has been
+// touched, further routes through the memoized tables must not allocate — the
+// map-read guarantee the 0 allocs/op gate relies on at scale.
+func TestCompactMemoSteadyStateAllocFree(t *testing.T) {
+	topo := topotest.Mini(t)
+	ch := NewChooserOpts(topo, Minimal, des.NewRNG(21, "al"), nil,
+		Options{CompactTables: true})
+	rng := des.NewRNG(22, "al-pairs")
+	const pairs = 512
+	srcs := make([]topology.NodeID, pairs)
+	dsts := make([]topology.NodeID, pairs)
+	for i := range srcs {
+		srcs[i] = topology.NodeID(rng.Intn(topo.NumNodes()))
+		dsts[i] = topology.NodeID(rng.Intn(topo.NumNodes()))
+	}
+	warm := func() {
+		for i := range srcs {
+			ch.Release(ch.Route(srcs[i], dsts[i]))
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(20, warm); avg > 0 {
+		t.Fatalf("steady-state compact routing allocates %.1f per sweep, want 0", avg)
+	}
+}

@@ -68,8 +68,11 @@ func (c *Chooser) RebuildHealth() {
 	}
 	rpg := c.routersPerGroup
 	if c.liveNextHop == nil {
-		c.liveNextHop = make([]topology.RouterID, len(c.nextHop))
-		c.liveDist = make([]int32, len(c.nextHop))
+		// Sized independently of the healthy next-hop representation (which
+		// may be the shared template): one slot per (router, local dst).
+		n := c.numRouters * rpg
+		c.liveNextHop = make([]topology.RouterID, n)
+		c.liveDist = make([]int32, n)
 		c.bfsQueue = make([]topology.RouterID, 0, rpg)
 	}
 	for i := range c.liveNextHop {
@@ -285,7 +288,7 @@ func (c *Chooser) faultMinimalPath(rs, rd topology.RouterID) (Path, error) {
 		c.putHops(hops)
 		return Path{}, &UnreachableError{Src: rs, Dst: rd}
 	}
-	return Path{Hops: hops, arena: c.pathState != nil}, nil
+	return Path{Hops: hops, arena: c.useArena}, nil
 }
 
 // faultValiantPath builds a non-minimal candidate on the faulted fabric. A
@@ -313,7 +316,7 @@ func (c *Chooser) faultValiantPath(rs, rd topology.RouterID) (Path, bool) {
 		c.putHops(hops)
 		return Path{}, false
 	}
-	return Path{Hops: hops, arena: c.pathState != nil}, true
+	return Path{Hops: hops, arena: c.useArena}, true
 }
 
 // faultAdaptivePath is the UGAL choice on the faulted fabric: the same

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"dragonfly/internal/des"
+	"dragonfly/internal/par"
 	"dragonfly/internal/topology"
 )
 
@@ -176,6 +177,13 @@ type Options struct {
 	// randomness are ever cached); the knob exists for the pooling
 	// equivalence tests and for memory-vs-speed debugging.
 	NoCache bool
+	// CompactTables forces the big-machine compressed/lazy route tables
+	// (shared intra-group template, lazily sharded gateway candidates,
+	// memoized path map) even below topology.DenseTableLimit, where the
+	// chooser would normally keep its dense flat arrays. Routes are
+	// identical in both modes; the knob exists for the equivalence tests
+	// and benchmarks.
+	CompactTables bool
 	// Health, when non-nil, switches the chooser to the fault-aware code
 	// path (see faultaware.go): routes avoid dead routers and links, fall
 	// back to non-minimal detours, and report ErrUnreachable from TryRoute
@@ -244,26 +252,44 @@ type Chooser struct {
 	// routerOf[n] is the router of node n; groupOf[r] the group of router r.
 	routerOf []topology.RouterID
 	groupOf  []int32
-	// nextHop[(g*R+i)*R+j] is the canonical next router from the i-th to the
-	// j-th router of group g (R = routersPerGroup) — the machine's
-	// LocalNextHop flattened, so intra-group segments are pure table walks.
-	nextHop []topology.RouterID
+	// Intra-group next hops come in two representations. tmplNext is the
+	// compressed one: the shared rpg x rpg group-0 template in local
+	// indices (all groups of every shipped dragonfly are isomorphic up to
+	// global wiring, verified at construction) — O(routersPerGroup^2)
+	// memory for the whole machine. nextHop is the dense fallback for a
+	// machine whose groups deviate: the machine's LocalNextHop flattened
+	// per group, (g*R+i)*R+j (R = routersPerGroup). Exactly one is non-nil.
+	tmplNext []int32
+	nextHop  []topology.RouterID
 	// valiant enumerates the eligible Valiant intermediate routers.
 	valiant []topology.RouterID
 
-	// nearestGW caches, per (router, destination group), the gateways of
-	// the router's group at minimal local distance — the hot lookup of
-	// every inter-group route. Built lazily per entry.
-	nearestGW [][]topology.Gateway
+	// Gateway-candidate cache, per (router, destination group) — the hot
+	// lookup of every inter-group route, built lazily per entry. Small
+	// machines keep the dense flat index nearestGW (numRouters*numGroups
+	// headers); above topology.DenseTableLimit that index alone would be
+	// hundreds of MB, so big machines keep nearestGWShard instead: one
+	// per-router shard of numGroups slots, allocated on the first route
+	// leaving that router — memory O(touched routers x groups). Exactly
+	// one is non-nil.
+	nearestGW      [][]topology.Gateway
+	nearestGWShard [][][]topology.Gateway
 
-	// pathCache[rs*numRouters+rd] holds the shared hop storage of the
-	// minimal path for pairs whose construction is deterministic (same
-	// group, or a single gateway candidate): those draw no randomness, so
-	// serving the cached copy consumes the RNG stream exactly as a rebuild
-	// would — results stay bit-identical. pathState classifies each pair
-	// lazily.
+	// Deterministic minimal-path cache. Pairs whose construction draws no
+	// randomness (same group, or a single gateway candidate) share one hop
+	// slice: serving the cached copy consumes the RNG stream exactly as a
+	// rebuild would, so results stay bit-identical. Small machines keep
+	// the dense tables pathCache/pathState ((numRouters)^2 entries,
+	// classified lazily); big machines keep pathMemo, a lazy map keyed by
+	// the router pair — a nil hops value records a never-cacheable pair.
+	// Memory is O(touched pairs) instead of O(routers^2); steady-state
+	// lookups are map reads, which allocate nothing.
 	pathCache [][]Hop
 	pathState []uint8
+	pathMemo  map[uint64][]Hop
+	// useArena enables the recycled hop-slice arena (off only with
+	// NoCache, which reproduces the historical fresh-allocation behavior).
+	useArena bool
 
 	// freeHops is the scratch arena: hop slices recycled from delivered
 	// packets and discarded adaptive candidates. Each Chooser belongs to one
@@ -292,7 +318,13 @@ func NewChooser(topo topology.Interconnect, mech Mechanism, rng *des.RNG, cong C
 
 // NewChooserOpts builds a route chooser with explicit Options, resolving the
 // machine's node attachment, group membership, canonical intra-group next
-// hops, and Valiant intermediates into dense tables.
+// hops, and Valiant intermediates into per-route tables. At or below
+// topology.DenseTableLimit routers those are the historical dense flat arrays
+// (the small-machine fast path every golden run takes); above the limit — or
+// under Options.CompactTables — the chooser keeps the compressed forms: one
+// shared intra-group next-hop template, per-router lazy gateway shards, and a
+// memoized path map, bounding memory by O(groups + touched pairs) instead of
+// O(routers^2). Routes are identical in both modes.
 func NewChooserOpts(topo topology.Interconnect, mech Mechanism, rng *des.RNG, cong Congestion, opts Options) *Chooser {
 	if cong == nil {
 		cong = zeroCongestion{}
@@ -301,36 +333,59 @@ func NewChooserOpts(topo topology.Interconnect, mech Mechanism, rng *des.RNG, co
 		topo: topo, mech: mech, rng: rng, cong: cong, opts: opts,
 		numRouters: topo.NumRouters(),
 		numGroups:  topo.NumGroups(),
-		nearestGW:  make([][]topology.Gateway, topo.NumRouters()*topo.NumGroups()),
 	}
 	c.routersPerGroup = c.numRouters / c.numGroups
+	compact := opts.CompactTables || c.numRouters > topology.DenseTableLimit
+
 	c.routerOf = make([]topology.RouterID, topo.NumNodes())
-	for n := range c.routerOf {
-		c.routerOf[n] = topo.RouterOfNode(topology.NodeID(n))
-	}
-	c.groupOf = make([]int32, c.numRouters)
-	for r := range c.groupOf {
-		c.groupOf[r] = int32(topo.GroupOfRouter(topology.RouterID(r)))
-	}
-	rpg := c.routersPerGroup
-	c.nextHop = make([]topology.RouterID, c.numGroups*rpg*rpg)
-	for g := 0; g < c.numGroups; g++ {
-		base := g * rpg
-		for i := 0; i < rpg; i++ {
-			for j := 0; j < rpg; j++ {
-				c.nextHop[(g*rpg+i)*rpg+j] = topo.LocalNextHop(
-					topology.RouterID(base+i), topology.RouterID(base+j))
-			}
+	par.ForChunks(len(c.routerOf), func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			c.routerOf[n] = topo.RouterOfNode(topology.NodeID(n))
 		}
+	})
+	c.groupOf = make([]int32, c.numRouters)
+	par.ForChunks(c.numRouters, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			c.groupOf[r] = int32(topo.GroupOfRouter(topology.RouterID(r)))
+		}
+	})
+	rpg := c.routersPerGroup
+	if tmpl, ok := topology.NewLocalTemplate(topo); ok {
+		// Group-isomorphic machine (all shipped variants): one shared
+		// rpg x rpg table serves every group's next-hop walk.
+		c.tmplNext = tmpl.Next
+	} else {
+		c.nextHop = make([]topology.RouterID, c.numGroups*rpg*rpg)
+		par.ForChunks(c.numGroups, func(lo, hi int) {
+			for g := lo; g < hi; g++ {
+				base := g * rpg
+				for i := 0; i < rpg; i++ {
+					for j := 0; j < rpg; j++ {
+						c.nextHop[(g*rpg+i)*rpg+j] = topo.LocalNextHop(
+							topology.RouterID(base+i), topology.RouterID(base+j))
+					}
+				}
+			}
+		})
 	}
 	c.valiant = make([]topology.RouterID, topo.NumValiantRouters())
 	for i := range c.valiant {
 		c.valiant[i] = topo.ValiantRouter(i)
 	}
+	if compact {
+		c.nearestGWShard = make([][][]topology.Gateway, c.numRouters)
+	} else {
+		c.nearestGW = make([][]topology.Gateway, c.numRouters*c.numGroups)
+	}
 	if !opts.NoCache {
-		n := c.numRouters * c.numRouters
-		c.pathCache = make([][]Hop, n)
-		c.pathState = make([]uint8, n)
+		if compact {
+			c.pathMemo = make(map[uint64][]Hop)
+		} else {
+			n := c.numRouters * c.numRouters
+			c.pathCache = make([][]Hop, n)
+			c.pathState = make([]uint8, n)
+		}
+		c.useArena = true
 	}
 	c.health = opts.Health
 	c.RebuildHealth()
@@ -408,6 +463,18 @@ func (c *Chooser) TryRoute(src, dst topology.NodeID) (Path, error) {
 // dst. The segment is the nextHop table walked to the destination — on the
 // XC40 grid that is the historical row-first-then-column dimension order.
 func (c *Chooser) appendLocalDOR(hops []Hop, cur, dst topology.RouterID, class uint8) ([]Hop, topology.RouterID) {
+	if c.tmplNext != nil {
+		rpg := c.routersPerGroup
+		for cur != dst {
+			// Template walk in local indices, shifted by the group base.
+			base := int(c.groupOf[cur]) * rpg
+			next := topology.RouterID(base) +
+				topology.RouterID(c.tmplNext[(int(cur)-base)*rpg+int(dst)-base])
+			hops = append(hops, Hop{From: cur, To: next, Kind: Local, VC: class})
+			cur = next
+		}
+		return hops, cur
+	}
 	for cur != dst {
 		// Table layout (g*R+i)*R+j collapses to cur*R + (dst - g*R).
 		base := int(c.groupOf[cur]) * c.routersPerGroup
@@ -465,8 +532,20 @@ func (c *Chooser) pickGateway(cur topology.RouterID, gs, gd int) topology.Gatewa
 // (GatewayNearest), or every gateway within one local hop (GatewaySpread,
 // falling back to nearest when none is that close).
 func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topology.Gateway {
-	idx := int(cur)*c.numGroups + gd
-	if cand := c.nearestGW[idx]; cand != nil {
+	// Resolve the cache slot for (cur, gd): dense flat index on small
+	// machines, the router's lazily allocated shard on big ones.
+	var slot *[]topology.Gateway
+	if c.nearestGW != nil {
+		slot = &c.nearestGW[int(cur)*c.numGroups+gd]
+	} else {
+		shard := c.nearestGWShard[cur]
+		if shard == nil {
+			shard = make([][]topology.Gateway, c.numGroups)
+			c.nearestGWShard[cur] = shard
+		}
+		slot = &shard[gd]
+	}
+	if cand := *slot; cand != nil {
 		return cand
 	}
 	gws := c.topo.Gateways(gs, gd)
@@ -494,7 +573,7 @@ func (c *Chooser) gatewayCandidates(cur topology.RouterID, gs, gd int) []topolog
 			cand = append(cand, gw)
 		}
 	}
-	c.nearestGW[idx] = cand
+	*slot = cand
 	return cand
 }
 
@@ -534,10 +613,29 @@ func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
 			}
 			c.pathState[idx] = cacheNever
 		}
+	} else if c.pathMemo != nil {
+		// Big-machine memo: rs != rd always holds here (TryRoute returns
+		// early for same-router pairs), so a cached deterministic path is
+		// never empty — a nil value therefore unambiguously records a
+		// never-cacheable pair. Map reads allocate nothing, keeping the
+		// steady state at 0 allocs/op.
+		key := uint64(uint32(rs))<<32 | uint64(uint32(rd))
+		if hops, hit := c.pathMemo[key]; hit {
+			if hops != nil {
+				return Path{Hops: hops}
+			}
+		} else if c.minimalDeterministic(rs, rd) {
+			var st segmentState
+			hops, _ := c.appendMinimal(nil, rs, rd, &st)
+			c.pathMemo[key] = hops
+			return Path{Hops: hops}
+		} else {
+			c.pathMemo[key] = nil
+		}
 	}
 	var st segmentState
 	hops, _ := c.appendMinimal(c.getHops(), rs, rd, &st)
-	return Path{Hops: hops, arena: c.pathState != nil}
+	return Path{Hops: hops, arena: c.useArena}
 }
 
 // valiantPath routes minimally to a random intermediate router (drawn from
@@ -553,7 +651,7 @@ func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
 	hops, cur := c.appendMinimal(c.getHops(), rs, mid, &st)
 	st.midsPassed++
 	hops, _ = c.appendMinimal(hops, cur, rd, &st)
-	return Path{Hops: hops, arena: c.pathState != nil}
+	return Path{Hops: hops, arena: c.useArena}
 }
 
 // adaptivePath implements the UGAL-style choice described in the paper:

@@ -107,6 +107,15 @@ type DragonflyPlus struct {
 	globalPeer     []RouterID
 	globalPeerPort []int32
 	gateways       [][][]Gateway
+
+	// Shared local-neighbor lists, resolved once at construction: every leaf
+	// of group g has exactly the spines of g as neighbors and every spine the
+	// leaves, so one slice per (group, side) serves all its routers —
+	// LocalNeighbors is called per router during fabric construction, health
+	// rebuilds, and template extraction, and per-call allocation there was
+	// the dominant share of the DF+ fabric-construction allocation gap.
+	spineNbrs [][]RouterID // indexed by group: the spines of that group
+	leafNbrs  [][]RouterID // indexed by group: the leaves of that group
 }
 
 // NewPlus builds and wires a Dragonfly+ machine.
@@ -127,6 +136,23 @@ func NewPlus(cfg PlusConfig) (*DragonflyPlus, error) {
 			return RouterID(group*t.routersPerGroup + cfg.Leaves + k/g)
 		},
 	)
+	t.spineNbrs = make([][]RouterID, cfg.Groups)
+	t.leafNbrs = make([][]RouterID, cfg.Groups)
+	spineFlat := make([]RouterID, cfg.Groups*cfg.Spines)
+	leafFlat := make([]RouterID, cfg.Groups*cfg.Leaves)
+	for grp := 0; grp < cfg.Groups; grp++ {
+		base := grp * t.routersPerGroup
+		s := spineFlat[grp*cfg.Spines : (grp+1)*cfg.Spines]
+		for i := range s {
+			s[i] = RouterID(base + cfg.Leaves + i)
+		}
+		t.spineNbrs[grp] = s
+		l := leafFlat[grp*cfg.Leaves : (grp+1)*cfg.Leaves]
+		for i := range l {
+			l[i] = RouterID(base + i)
+		}
+		t.leafNbrs[grp] = l
+	}
 	return t, nil
 }
 
@@ -277,21 +303,14 @@ func (t *DragonflyPlus) LocalConnected(a, b RouterID) bool {
 }
 
 // LocalNeighbors returns the routers joined to r by local links: every spine
-// of its group for a leaf, every leaf for a spine, in index order.
+// of its group for a leaf, every leaf for a spine, in index order. The
+// returned slice is shared (resolved once per group at construction); callers
+// must not mutate it.
 func (t *DragonflyPlus) LocalNeighbors(r RouterID) []RouterID {
-	base := t.GroupOfRouter(r) * t.routersPerGroup
 	if t.IsLeaf(r) {
-		out := make([]RouterID, t.cfg.Spines)
-		for s := range out {
-			out[s] = RouterID(base + t.cfg.Leaves + s)
-		}
-		return out
+		return t.spineNbrs[t.GroupOfRouter(r)]
 	}
-	out := make([]RouterID, t.cfg.Leaves)
-	for l := range out {
-		out[l] = RouterID(base + l)
-	}
-	return out
+	return t.leafNbrs[t.GroupOfRouter(r)]
 }
 
 // LocalDistance returns the intra-group hop distance between two routers of

@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"testing"
+
+	"dragonfly/internal/par"
+)
+
+// TestLocalTemplateMatchesInterface: on every preset, the extracted template
+// must reproduce LocalNextHop and LocalNeighbors exactly for every group —
+// the property the compressed routing and fabric tables rely on.
+func TestLocalTemplateMatchesInterface(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := m.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl, ok := NewLocalTemplate(ic)
+		if !ok {
+			t.Fatalf("%s: groups not isomorphic, template refused", name)
+		}
+		rpg := tmpl.RPG
+		if rpg*ic.NumGroups() != ic.NumRouters() {
+			t.Fatalf("%s: RPG %d x %d groups != %d routers", name, rpg, ic.NumGroups(), ic.NumRouters())
+		}
+		for g := 0; g < ic.NumGroups(); g++ {
+			base := g * rpg
+			for i := 0; i < rpg; i++ {
+				for j := 0; j < rpg; j++ {
+					want := ic.LocalNextHop(RouterID(base+i), RouterID(base+j))
+					got := RouterID(base) + RouterID(tmpl.Next[i*rpg+j])
+					if got != want {
+						t.Fatalf("%s g%d: next(%d,%d) = %d, want %d", name, g, i, j, got, want)
+					}
+				}
+				nbrs := ic.LocalNeighbors(RouterID(base + i))
+				tn := tmpl.Neighbors(i)
+				if len(nbrs) != len(tn) {
+					t.Fatalf("%s g%d: neighbor count %d != %d", name, g, len(tn), len(nbrs))
+				}
+				for k := range nbrs {
+					if int(nbrs[k]) != base+int(tn[k]) {
+						t.Fatalf("%s g%d r%d: neighbor %d = %d, want %d",
+							name, g, i, k, base+int(tn[k]), nbrs[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// lopsided wraps a Dragonfly and breaks group isomorphism in one group, to
+// prove template extraction refuses rather than silently mis-templates.
+type lopsided struct{ *Dragonfly }
+
+func (l lopsided) LocalNextHop(cur, dst RouterID) RouterID {
+	if l.GroupOfRouter(cur) == 1 && cur != dst {
+		// Swap the row/column order in group 1 only.
+		cc, cd := l.RouterCoord(cur), l.RouterCoord(dst)
+		if cc.Row != cd.Row {
+			return l.RouterAt(cc.Group, cd.Row, cc.Col)
+		}
+		return dst
+	}
+	return l.Dragonfly.LocalNextHop(cur, dst)
+}
+
+func TestLocalTemplateRefusesNonIsomorphicGroups(t *testing.T) {
+	ic := lopsided{MustNew(Mini())}
+	if _, ok := NewLocalTemplate(ic); ok {
+		t.Fatal("template accepted a machine with a deviant group")
+	}
+}
+
+// TestWiringWorkerCountInvariance: the sharded round-robin wiring must
+// produce byte-identical machines at every worker count.
+func TestWiringWorkerCountInvariance(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	base := MustNew(Mini())
+	for _, w := range []int{2, 3, 8} {
+		par.SetWorkers(w)
+		got := MustNew(Mini())
+		if len(got.globalPeer) != len(base.globalPeer) {
+			t.Fatalf("workers=%d: peer table length %d != %d", w, len(got.globalPeer), len(base.globalPeer))
+		}
+		for i := range base.globalPeer {
+			if got.globalPeer[i] != base.globalPeer[i] || got.globalPeerPort[i] != base.globalPeerPort[i] {
+				t.Fatalf("workers=%d: port slot %d differs", w, i)
+			}
+		}
+		for a := range base.gateways {
+			for b := range base.gateways[a] {
+				bg, gg := base.gateways[a][b], got.gateways[a][b]
+				if len(bg) != len(gg) {
+					t.Fatalf("workers=%d: gateways[%d][%d] length %d != %d", w, a, b, len(gg), len(bg))
+				}
+				for s := range bg {
+					if bg[s] != gg[s] {
+						t.Fatalf("workers=%d: gateways[%d][%d][%d] differs", w, a, b, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScaleConfigShapes: synthesized shapes must validate, meet the router
+// floor, and keep every group pair connected (the SPI's Gateways contract).
+func TestScaleConfigShapes(t *testing.T) {
+	for _, tc := range []struct {
+		family  string
+		routers int
+	}{
+		{"df", 2000}, {"df", 20000}, {"dfplus", 2000}, {"dfplus", 20000},
+	} {
+		m, err := ScaleConfig(tc.family, tc.routers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := m.Build()
+		if err != nil {
+			t.Fatalf("%s:%d: %v", tc.family, tc.routers, err)
+		}
+		if ic.NumRouters() < tc.routers {
+			t.Fatalf("%s:%d: only %d routers", tc.family, tc.routers, ic.NumRouters())
+		}
+		g := ic.NumGroups()
+		// Sampled group pairs (corners and a stride) all need gateways.
+		for _, a := range []int{0, 1, g / 2, g - 1} {
+			for _, b := range []int{0, g / 3, g - 1} {
+				if a == b {
+					continue
+				}
+				if len(ic.Gateways(a, b)) == 0 {
+					t.Fatalf("%s:%d: no gateways %d -> %d", tc.family, tc.routers, a, b)
+				}
+			}
+		}
+	}
+	if _, err := ScaleConfig("torus", 100); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := ScaleConfig("df", 0); err == nil {
+		t.Fatal("zero routers accepted")
+	}
+}

@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"dragonfly/internal/par"
+)
 
 // Global-link wiring. Each router owns GlobalPortsPerRouter global ports.
 // Within a group, ports are enumerated linearly: port p of the i-th router
@@ -29,6 +33,13 @@ func (t *Dragonfly) wireGlobal() {
 // peer/peerPort tables (indexed r*portsPerRouter+p, -1 when unwired) and the
 // per-group-pair gateway lists. Both dragonfly variants share it, so their
 // global wiring follows the same canonical arrangement.
+//
+// The wiring is sharded across the par worker pool: slot enumeration by
+// group, pair wiring by source group. Every group pair (a, b) with a < b is
+// wired exclusively by the worker owning a, and a pair's writes — its own
+// port slots in peer/peerPort and the two gateways[a][b]/gateways[b][a]
+// cells — touch no other pair's, so the wired machine is byte-identical at
+// every worker count.
 func roundRobinWire(groups, numRouters, portsPerRouter, portsPerGroup int, ownerOf func(group, k int) RouterID) (peer []RouterID, peerPort []int32, gateways [][][]Gateway) {
 	peer = make([]RouterID, numRouters*portsPerRouter)
 	peerPort = make([]int32, numRouters*portsPerRouter)
@@ -46,37 +57,65 @@ func roundRobinWire(groups, numRouters, portsPerRouter, portsPerGroup int, owner
 
 	others := groups - 1
 	// slotPort[a][b][s] = linear port index k in group a of slot s toward b.
+	// Slot counts per target are known up front (ceil/floor of the
+	// round-robin), so the inner lists are pre-sized exactly.
 	slotPort := make([][][]int, groups)
-	for a := 0; a < groups; a++ {
-		slotPort[a] = make([][]int, groups)
-		for k := 0; k < portsPerGroup; k++ {
-			ti := k % others // target index in a's skip list
-			b := ti
-			if b >= a {
-				b++
+	par.ForChunks(groups, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			slotPort[a] = make([][]int, groups)
+			whole := portsPerGroup / others
+			for b := 0; b < groups; b++ {
+				if b == a {
+					continue
+				}
+				ti := b
+				if ti > a {
+					ti--
+				}
+				n := whole
+				if ti < portsPerGroup%others {
+					n++
+				}
+				slotPort[a][b] = make([]int, 0, n)
 			}
-			slotPort[a][b] = append(slotPort[a][b], k)
-		}
-	}
-	for a := 0; a < groups; a++ {
-		for b := a + 1; b < groups; b++ {
-			n := len(slotPort[a][b])
-			if m := len(slotPort[b][a]); m < n {
-				n = m
-			}
-			for s := 0; s < n; s++ {
-				ka, kb := slotPort[a][b][s], slotPort[b][a][s]
-				ra, rb := ownerOf(a, ka), ownerOf(b, kb)
-				pa, pb := ka%portsPerRouter, kb%portsPerRouter
-				peer[int(ra)*portsPerRouter+pa] = rb
-				peerPort[int(ra)*portsPerRouter+pa] = int32(pb)
-				peer[int(rb)*portsPerRouter+pb] = ra
-				peerPort[int(rb)*portsPerRouter+pb] = int32(pa)
-				gateways[a][b] = append(gateways[a][b], Gateway{Router: ra, Port: pa, Peer: rb})
-				gateways[b][a] = append(gateways[b][a], Gateway{Router: rb, Port: pb, Peer: ra})
+			for k := 0; k < portsPerGroup; k++ {
+				ti := k % others // target index in a's skip list
+				b := ti
+				if b >= a {
+					b++
+				}
+				slotPort[a][b] = append(slotPort[a][b], k)
 			}
 		}
-	}
+	})
+	par.ForChunks(groups, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			for b := a + 1; b < groups; b++ {
+				n := len(slotPort[a][b])
+				if m := len(slotPort[b][a]); m < n {
+					n = m
+				}
+				if n == 0 {
+					continue
+				}
+				ab := make([]Gateway, 0, n)
+				ba := make([]Gateway, 0, n)
+				for s := 0; s < n; s++ {
+					ka, kb := slotPort[a][b][s], slotPort[b][a][s]
+					ra, rb := ownerOf(a, ka), ownerOf(b, kb)
+					pa, pb := ka%portsPerRouter, kb%portsPerRouter
+					peer[int(ra)*portsPerRouter+pa] = rb
+					peerPort[int(ra)*portsPerRouter+pa] = int32(pb)
+					peer[int(rb)*portsPerRouter+pb] = ra
+					peerPort[int(rb)*portsPerRouter+pb] = int32(pa)
+					ab = append(ab, Gateway{Router: ra, Port: pa, Peer: rb})
+					ba = append(ba, Gateway{Router: rb, Port: pb, Peer: ra})
+				}
+				gateways[a][b] = ab
+				gateways[b][a] = ba
+			}
+		}
+	})
 	return peer, peerPort, gateways
 }
 
