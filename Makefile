@@ -21,6 +21,7 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRoute$$ -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzRouteFaults -fuzztime=10s ./internal/routing
+	$(GO) test -fuzz=FuzzPolicy -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 

@@ -30,7 +30,7 @@ func main() {
 		jobs     = flag.Int("jobs", 10, "number of jobs to submit")
 		backfill = flag.Bool("backfill", true, "enable aggressive backfill")
 		place    = flag.String("placement", "cont", "placement for every job: cont, cab, chas, rotr, rand")
-		route    = flag.String("routing", "adp", "routing: min or adp")
+		route    = flag.String("routing", "adp", "routing: min, adp, or qadaptive")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()

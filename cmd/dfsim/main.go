@@ -34,7 +34,7 @@ func main() {
 		topoName   = flag.String("topo", "", "machine preset: theta, mini, dfplus, or dfplus-mini (default theta; dfplus* are extensions beyond the paper)")
 		app        = flag.String("app", "CR", "application: CR, FB, or AMG")
 		place      = flag.String("placement", "cont", "placement (comma-separated sweeps): cont, cab, chas, rotr, rand")
-		route      = flag.String("routing", "min", "routing (comma-separated sweeps): min or adp")
+		route      = flag.String("routing", "min", "routing (comma-separated sweeps): min, adp, or qadaptive")
 		parallel   = flag.Int("parallel", 0, "worker pool for swept cells (1 = sequential, 0 = NumCPU)")
 		mapName    = flag.String("mapping", "identity", "task mapping: identity, shuffle, router-packed, group-packed")
 		msgScale   = flag.Float64("scale", 1, "message-size scale factor (sensitivity study)")

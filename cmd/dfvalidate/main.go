@@ -33,7 +33,7 @@ func main() {
 		pairs    = flag.Int("pairs", 50, "ping-pong node pairs to sample")
 		bytes    = flag.Int("bytes", 4096, "ping payload (single packet)")
 		bisect   = flag.Int64("bisect-bytes", 512*1024, "bytes per bisection pair")
-		route    = flag.String("routing", "min", "bisection routing: min or adp")
+		route    = flag.String("routing", "min", "bisection routing: min, adp, or qadaptive")
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxError = flag.Float64("max-error", 0.001, "fail if ping relative error exceeds this")
 		faultStr = flag.String("faults", "", "additionally validate fault-aware routing on this degraded fabric (spec grammar as in dfsim -faults)")

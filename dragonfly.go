@@ -127,16 +127,30 @@ func AllPlacements() []PlacementPolicy { return placement.All() }
 // ParsePlacement converts "cont"/"cab"/"chas"/"rotr"/"rand" (or long names).
 func ParsePlacement(s string) (PlacementPolicy, error) { return placement.Parse(s) }
 
-// Routing mechanisms (Sec. III-C).
+// Routing mechanisms: the paper's two (Sec. III-C) plus the
+// congestion-learning extension.
 type RoutingMechanism = routing.Mechanism
 
-// The two routing mechanisms.
+// The built-in routing policies.
 const (
-	Minimal  = routing.Minimal
-	Adaptive = routing.Adaptive
+	Minimal   = routing.Minimal
+	Adaptive  = routing.Adaptive
+	QAdaptive = routing.QAdaptive
 )
 
-// ParseRouting converts "min"/"adp" (or long names).
+// RoutingPolicy is the decision SPI behind the named mechanisms; custom
+// implementations install via RoutingOptions.Policy (a PolicyFactory).
+type RoutingPolicy = routing.Policy
+
+// RoutingOptions tunes secondary routing decisions (gateway policy,
+// Valiant candidate count, misrouting bias, custom Policy); it is the
+// Params.Route field of a network configuration.
+type RoutingOptions = routing.Options
+
+// RoutingPolicyNames lists the built-in policies in CLI spelling.
+func RoutingPolicyNames() []string { return routing.PolicyNames() }
+
+// ParseRouting converts "min"/"adp"/"qadaptive" (or long names).
 func ParseRouting(s string) (RoutingMechanism, error) { return routing.ParseMechanism(s) }
 
 // Task mapping (the paper's future-work extension): how ranks are assigned

@@ -68,11 +68,14 @@ func Placements(csv string) ([]placement.Policy, error) {
 	return pols, nil
 }
 
-// Routing parses one routing mechanism name.
+// Routing parses one routing policy name. The error enumerates the full
+// built-in policy set, so a typo'd -routing always shows what exists.
 func Routing(s string) (routing.Mechanism, error) {
 	m, err := routing.ParseMechanism(strings.TrimSpace(s))
 	if err != nil {
-		return 0, fmt.Errorf("routing %q: want min or adp", strings.TrimSpace(s))
+		names := routing.PolicyNames()
+		return 0, fmt.Errorf("routing %q: want %s, or %s",
+			strings.TrimSpace(s), strings.Join(names[:len(names)-1], ", "), names[len(names)-1])
 	}
 	return m, nil
 }

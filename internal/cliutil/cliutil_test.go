@@ -33,9 +33,11 @@ func TestParsers(t *testing.T) {
 		{"placements/empty", func() (interface{}, error) { return Placements("") }, nil, "want cont"},
 
 		{"routing/min", func() (interface{}, error) { return Routing("min") }, routing.Minimal, ""},
-		{"routing/unknown", func() (interface{}, error) { return Routing("ugal5") }, nil, "want min or adp"},
-		{"routings/list", func() (interface{}, error) { m, err := Routings("min,adp"); return len(m), err }, 2, ""},
-		{"routings/bad-element", func() (interface{}, error) { return Routings("min,") }, nil, "want min or adp"},
+		{"routing/qadaptive", func() (interface{}, error) { return Routing(" qadaptive ") }, routing.QAdaptive, ""},
+		{"routing/qadp-alias", func() (interface{}, error) { return Routing("qadp") }, routing.QAdaptive, ""},
+		{"routing/unknown", func() (interface{}, error) { return Routing("ugal5") }, nil, "want min, adp, or qadaptive"},
+		{"routings/list", func() (interface{}, error) { m, err := Routings("min,adp,qadaptive"); return len(m), err }, 3, ""},
+		{"routings/bad-element", func() (interface{}, error) { return Routings("min,") }, nil, "want min, adp, or qadaptive"},
 
 		{"mapping/identity", func() (interface{}, error) { return Mapping("identity") }, mapping.Identity, ""},
 		{"mapping/unknown", func() (interface{}, error) { return Mapping("hilbert") }, nil, "want identity, shuffle, router-packed, group-packed"},

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+)
+
+// policyCells are the determinism suite's routing-policy grid: both
+// built-ins plus the stateful learning policy, each under a localizing and
+// a balancing placement. qadaptive is the interesting case — its Q-table
+// trajectory depends on the exact arrival order of saturation feedback, so
+// any nondeterminism in event ordering or worker scheduling shows up here
+// first.
+func policyCells() []Cell {
+	return []Cell{
+		{placement.Contiguous, routing.Minimal},
+		{placement.RandomNode, routing.Adaptive},
+		{placement.Contiguous, routing.QAdaptive},
+		{placement.RandomNode, routing.QAdaptive},
+	}
+}
+
+// requireSameResult compares every Result field a routing policy can
+// perturb; the audit report is excluded because only some runs request it.
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Duration != want.Duration || got.Events != want.Events || got.Completed != want.Completed {
+		t.Fatalf("%s: clock/events (%v, %d, %v) != baseline (%v, %d, %v)",
+			label, got.Duration, got.Events, got.Completed, want.Duration, want.Events, want.Completed)
+	}
+	if !reflect.DeepEqual(got.CommTimes, want.CommTimes) {
+		t.Fatalf("%s: per-rank comm times diverge", label)
+	}
+	if !reflect.DeepEqual(got.AvgHops, want.AvgHops) {
+		t.Fatalf("%s: per-rank hop averages diverge", label)
+	}
+	if !reflect.DeepEqual(got.Links, want.Links) {
+		t.Fatalf("%s: link statistics diverge", label)
+	}
+	if got.DroppedPackets != want.DroppedPackets || got.DroppedBytes != want.DroppedBytes {
+		t.Fatalf("%s: drop accounting diverges", label)
+	}
+}
+
+// TestPolicyDeterminism is the policy-parameterized bit-identity suite: for
+// every routing policy, one seed must produce identical results on repeated
+// sequential runs, across every RunBatch worker count, and under the
+// invariant auditor (whose instrumentation must observe, never perturb).
+func TestPolicyDeterminism(t *testing.T) {
+	tr := miniCR(t)
+	cells := policyCells()
+	cfgs := make([]Config, len(cells))
+	want := make([]*Result, len(cells))
+	for i, cell := range cells {
+		cfgs[i] = MiniConfig(tr, cell, 11)
+		res, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name(), err)
+		}
+		want[i] = res
+	}
+
+	// Repeated sequential run: a policy keeping hidden state across Run
+	// calls (anything not reconstructed from the seed) breaks here.
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", cells[i].Name(), err)
+		}
+		requireSameResult(t, cells[i].Name()+"/rerun", res, want[i])
+	}
+
+	// Every worker count must reproduce the sequential results exactly.
+	for _, workers := range []int{1, 2, 4} {
+		results, err := RunBatch(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			requireSameResult(t, cells[i].Name()+"/parallel", results[i], want[i])
+		}
+	}
+
+	// The auditor must be a pure observer for every policy.
+	for i, cfg := range cfgs {
+		cfg.Audit = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s audited: %v", cells[i].Name(), err)
+		}
+		requireSameResult(t, cells[i].Name()+"/audit", res, want[i])
+		if res.Audit == nil || len(res.Audit.Violations) != 0 {
+			t.Fatalf("%s: auditor flagged the run: %v", cells[i].Name(), res.Audit)
+		}
+	}
+}

@@ -20,6 +20,9 @@ func TestPoolingDoesNotChangeResults(t *testing.T) {
 		{placement.RandomNode, routing.Minimal},
 		{placement.RandomNode, routing.Adaptive},
 		{placement.Contiguous, routing.Adaptive},
+		// qadaptive routes through the same candidate scratch and arena, and
+		// its Q-table must see the same decision sequence either way.
+		{placement.RandomNode, routing.QAdaptive},
 	}
 	for _, cell := range cells {
 		cfg := MiniConfig(tr, cell, 11)

@@ -95,7 +95,8 @@ type Options struct {
 	// fault spec (extension beyond the paper; the dfsweep -faults flag).
 	// Nil or an empty spec leaves the fault machinery out entirely, so the
 	// paper-reproduction reports stay byte-identical. The resilience sweep
-	// (figr) drives its own fault fractions and ignores this option.
+	// (figr) and the learning-router comparison (figq) drive their own
+	// fault fractions and ignore this option.
 	Faults *faults.Spec
 	// DisablePooling turns off the allocation-avoidance machinery — the
 	// fabric's packet/credit free lists and the router path cache + hop
@@ -176,6 +177,8 @@ func (r *Runner) Run(id string) (*Report, error) {
 		return r.XMulti()
 	case "figr":
 		return r.FigureR()
+	case "figq":
+		return r.FigureQ()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %s; extensions: %s)",
 			id, strings.Join(IDs(), ", "), strings.Join(ExtensionIDs(), ", "))
@@ -331,7 +334,7 @@ func (r *Runner) finish(rep *Report) (*Report, error) {
 		// reports (and their golden snapshots) byte-stable.
 		rep.Notes = append(rep.Notes, fmt.Sprintf("machine=%s (extension beyond the paper)", r.opts.Machine.Label()))
 	}
-	if !r.opts.Faults.Empty() && rep.ID != "figr" {
+	if !r.opts.Faults.Empty() && rep.ID != "figr" && rep.ID != "figq" {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("faults=%s (degraded fabric, extension beyond the paper)", r.opts.Faults))
 	}
 	if r.opts.DataDir != "" {

@@ -26,10 +26,13 @@ import (
 
 // goldenIDs are the anchored experiments: fig2 exercises the trace
 // generators alone, fig3 the full placement x routing simulation grid,
-// fig8 the background-interference path, and figr the degraded-fabric
+// fig8 the background-interference path, figr the degraded-fabric
 // resilience sweep (on the mini machine, so the snapshot also anchors the
-// fault model's deterministic draw and the fault-aware routing layer).
-var goldenIDs = []string{"fig2", "fig3", "fig8", "figr"}
+// fault model's deterministic draw and the fault-aware routing layer), and
+// figq the learning-router comparison (also on mini — it anchors the
+// qadaptive policy's Q-table trajectory end to end, saturation feedback
+// included).
+var goldenIDs = []string{"fig2", "fig3", "fig8", "figr", "figq"}
 
 func updateGolden() bool { return os.Getenv("UPDATE_GOLDEN") == "1" }
 
@@ -81,11 +84,11 @@ func TestGoldenReports(t *testing.T) {
 		t.Run(id, func(t *testing.T) {
 			dir := t.TempDir()
 			opts := Options{Scale: ScaleQuick, Seed: 1, DataDir: dir, Parallel: 1}
-			if id == "figr" {
-				// The resilience sweep is anchored on the mini preset: small
-				// enough to keep the suite fast, and a fixed named machine so
-				// the fault draw is pinned independently of the quick-scale
-				// default.
+			if id == "figr" || id == "figq" {
+				// The fault-driven sweeps are anchored on the mini preset:
+				// small enough to keep the suite fast, and a fixed named
+				// machine so the fault draw is pinned independently of the
+				// quick-scale default.
 				opts.Machine = topology.Mini()
 			}
 			r := NewRunner(opts)

@@ -109,7 +109,12 @@ type Fabric struct {
 	params Params
 
 	chooser *routing.Chooser
-	obs     Observer // nil unless an auditor is attached
+	// fb is the installed routing policy's learning hook (nil for the
+	// built-in min/adp policies): link saturation onsets feed back into
+	// the policy's congestion model. Resolved once at construction, so
+	// the per-event cost on non-learning policies is one nil check.
+	fb  routing.Feedback
+	obs Observer // nil unless an auditor is attached
 
 	links   []*link
 	nics    []*nic
@@ -258,6 +263,7 @@ func New(eng *des.Engine, topo topology.Interconnect, p Params, mech routing.Mec
 		hopCount:   make([]int64, topo.NumNodes()),
 	}
 	f.chooser = routing.NewChooserOpts(topo, mech, rng.Stream("route"), f, p.Route)
+	f.fb = f.chooser.Feedback()
 
 	// Terminal links, both directions, and NICs.
 	f.nics = make([]*nic, topo.NumNodes())

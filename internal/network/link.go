@@ -198,6 +198,11 @@ func (l *link) reserve(vc, n int) {
 	if !wasFull && l.vcFull(vc) {
 		if l.fullVCs == 0 {
 			l.satSince = l.f.eng.Now()
+			// Saturation onset — the edge the stats clock records — also
+			// feeds the learning routing policy, if one is installed.
+			if l.f.fb != nil {
+				l.f.fb.ObserveSaturation(l.from, l.to, l.kind)
+			}
 		}
 		l.fullVCs++
 	}

@@ -60,6 +60,18 @@ func BenchmarkRouteCompactAdaptive(b *testing.B) {
 	benchRoute(b, topotest.Mini(b), Adaptive, Options{CompactTables: true})
 }
 
+// qadaptive equivalents: the learning policy fields the same candidate set
+// through the same scratch and arena as adp, plus a constant-work Q-table
+// update, so it is held to the same 0 allocs/op gate in both table regimes
+// (its tables are sized once at Bind).
+func BenchmarkRouteQAdaptive(b *testing.B) {
+	benchRoute(b, topotest.Mini(b), QAdaptive, Options{})
+}
+
+func BenchmarkRouteCompactQAdaptive(b *testing.B) {
+	benchRoute(b, topotest.Mini(b), QAdaptive, Options{CompactTables: true})
+}
+
 // BenchmarkRouteMinimalNoCache is the pre-pooling baseline: fresh hop
 // storage per call, kept so the cache/arena win stays visible in one run.
 func BenchmarkRouteMinimalNoCache(b *testing.B) {

@@ -123,14 +123,7 @@ func (c *Chooser) faultRoute(rs, rd topology.RouterID) (Path, error) {
 	if rs == rd {
 		return Path{}, nil
 	}
-	switch c.mech {
-	case Minimal:
-		return c.faultMinimalPath(rs, rd)
-	case Adaptive:
-		return c.faultAdaptivePath(rs, rd)
-	default:
-		panic(fmt.Sprintf("routing: unknown mechanism %d", int(c.mech)))
-	}
+	return c.policy.FaultRoute(rs, rd)
 }
 
 // appendLocalLive walks the BFS tree from cur to dst (same group) on the
@@ -281,7 +274,10 @@ func (c *Chooser) findTransit(cur topology.RouterID, gs, gd int, dst topology.Ro
 	return topology.Gateway{}, topology.Gateway{}, false
 }
 
-func (c *Chooser) faultMinimalPath(rs, rd topology.RouterID) (Path, error) {
+// FaultMinimalPath is MinimalPath's degraded-mode twin: the live minimal
+// route (with the two-global-hop transit detour when the group pair has no
+// live direct gateway), or a typed error when the pair is partitioned.
+func (c *Chooser) FaultMinimalPath(rs, rd topology.RouterID) (Path, error) {
 	var st segmentState
 	hops, ok := c.appendMinimalFault(c.getHops(), rs, rd, &st, true)
 	if !ok {
@@ -291,14 +287,14 @@ func (c *Chooser) faultMinimalPath(rs, rd topology.RouterID) (Path, error) {
 	return Path{Hops: hops, arena: c.useArena}, nil
 }
 
-// faultValiantPath builds a non-minimal candidate on the faulted fabric. A
+// FaultValiantPath builds a non-minimal candidate on the faulted fabric. A
 // candidate whose intermediate is dead or whose segments cannot route direct
 // is infeasible: it reports false and the caller simply fields fewer
 // candidates.
-func (c *Chooser) faultValiantPath(rs, rd topology.RouterID) (Path, bool) {
+func (c *Chooser) FaultValiantPath(rs, rd topology.RouterID) (Path, bool) {
 	mid := c.valiant[c.rng.Intn(len(c.valiant))]
 	if mid == rs || mid == rd {
-		p, err := c.faultMinimalPath(rs, rd)
+		p, err := c.FaultMinimalPath(rs, rd)
 		return p, err == nil
 	}
 	if !c.health.RouterUp(mid) {
@@ -317,44 +313,4 @@ func (c *Chooser) faultValiantPath(rs, rd topology.RouterID) (Path, bool) {
 		return Path{}, false
 	}
 	return Path{Hops: hops, arena: c.useArena}, true
-}
-
-// faultAdaptivePath is the UGAL choice on the faulted fabric: the same
-// candidate structure and scoring as adaptivePath, with infeasible
-// candidates dropped. Failed ports never appear as candidates, which is the
-// "infinitely congested" treatment in its strongest form.
-func (c *Chooser) faultAdaptivePath(rs, rd topology.RouterID) (Path, error) {
-	first, err := c.faultMinimalPath(rs, rd)
-	if err != nil {
-		return Path{}, err
-	}
-	cands := append(c.candBuf[:0], first)
-	nMin := 1
-	if c.groupOf[rs] != c.groupOf[rd] {
-		if p, err := c.faultMinimalPath(rs, rd); err == nil {
-			cands = append(cands, p)
-			nMin = 2
-		}
-	}
-	nonMin := c.opts.valiantCandidates()
-	for i := 0; i < nonMin; i++ {
-		if p, ok := c.faultValiantPath(rs, rd); ok {
-			cands = append(cands, p)
-		}
-	}
-	c.candBuf = cands[:0]
-
-	win, minScore := pickBest(c, cands[:nMin])
-	if len(cands) > nMin {
-		nonIdx, nonScore := pickBest(c, cands[nMin:])
-		if nonScore+c.opts.minimalBias() < minScore {
-			win = nonIdx + nMin
-		}
-	}
-	for i := range cands {
-		if i != win && cands[i].arena {
-			c.putHops(cands[i].Hops)
-		}
-	}
-	return cands[win], nil
 }

@@ -133,6 +133,131 @@ func FuzzRoute(f *testing.F) {
 	})
 }
 
+// FuzzPolicy is the policy-SPI fuzzer: for arbitrary machine shapes, fault
+// draws, and any installed routing policy — including the stateful
+// congestion-learning qadaptive fed fuzzed saturation events — every
+// TryRoute outcome must be a valid route or the typed ErrUnreachable, never
+// a panic, an invalid hop, or an untyped error. It is the property twin of
+// policytest.Contract: the contract pins determinism on fixed machines, the
+// fuzzer hunts validity violations across the shape space.
+func FuzzPolicy(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(1), uint8(0), uint16(0), uint16(40), int64(1), uint8(2), uint8(0), uint8(0), uint16(9), uint8(0))
+	f.Add(uint8(4), uint8(2), uint8(4), uint8(2), uint8(2), uint16(13), uint16(57), int64(42), uint8(2), uint8(40), uint8(10), uint16(1000), uint8(0))
+	f.Add(uint8(5), uint8(1), uint8(2), uint8(3), uint8(1), uint16(9), uint16(9), int64(3), uint8(0), uint8(100), uint8(0), uint16(0), uint8(1))
+	f.Add(uint8(2), uint8(0), uint8(2), uint8(3), uint8(2), uint16(9), uint16(3), int64(3), uint8(1), uint8(25), uint8(25), uint16(77), uint8(1))
+	f.Add(uint8(6), uint8(2), uint8(3), uint8(1), uint8(2), uint16(200), uint16(7), int64(11), uint8(2), uint8(0), uint8(90), uint16(50_000), uint8(0))
+	f.Fuzz(func(t *testing.T, groups, rows, cols, nodesPer, extraPorts uint8,
+		srcRaw, dstRaw uint16, seed int64, policySel, globalPct, localPct uint8, satRaw uint16, family uint8) {
+		var topo topology.Interconnect
+		var err error
+		if family%2 == 0 {
+			topo, err = fuzzTopology(groups, rows, cols, nodesPer, extraPorts)
+		} else {
+			topo, err = fuzzPlusTopology(groups, rows, cols, nodesPer, extraPorts)
+		}
+		if err != nil {
+			t.Skip()
+		}
+		if topo.NumNodes() < 2 {
+			t.Skip()
+		}
+		var factory routing.PolicyFactory
+		switch policySel % 3 {
+		case 0:
+			factory = func() routing.Policy { return routing.BuiltinPolicy(routing.Minimal) }
+		case 1:
+			factory = func() routing.Policy { return routing.BuiltinPolicy(routing.Adaptive) }
+		default:
+			factory = func() routing.Policy { return routing.NewQAdaptivePolicy(routing.QAdaptiveConfig{}) }
+		}
+		opts := routing.Options{Policy: factory}
+		var set *faults.Set
+		var liveGlobal map[[2]topology.RouterID]bool
+		degraded := globalPct%101 != 0 || localPct%101 != 0
+		if degraded {
+			spec := &faults.Spec{
+				GlobalFrac: float64(globalPct%101) / 100,
+				LocalFrac:  float64(localPct%101) / 100,
+				Seed:       seed,
+			}
+			set, err = faults.Resolve(spec, topo)
+			if err != nil {
+				t.Fatalf("in-range spec %v rejected: %v", spec, err)
+			}
+			opts.Health = set
+			liveGlobal = map[[2]topology.RouterID]bool{}
+			for _, c := range topo.GlobalConns() {
+				if set.GlobalLinkUp(c.A, c.APort) {
+					liveGlobal[[2]topology.RouterID{c.A, c.B}] = true
+				}
+				if set.GlobalLinkUp(c.B, c.BPort) {
+					liveGlobal[[2]topology.RouterID{c.B, c.A}] = true
+				}
+			}
+		}
+		src := topology.NodeID(int(srcRaw) % topo.NumNodes())
+		dst := topology.NodeID(int(dstRaw) % topo.NumNodes())
+		if src == dst {
+			dst = topology.NodeID((int(dst) + 1) % topo.NumNodes())
+		}
+		rng := des.NewRNG(seed, "fuzz-policy").Stream("route")
+		ch := routing.NewChooserOpts(topo, routing.Minimal, rng, fuzzCong{salt: seed}, opts)
+		fb := ch.Feedback()
+		rs, rd := topo.RouterOfNode(src), topo.RouterOfNode(dst)
+		nr := topo.NumRouters()
+		for i := 0; i < 8; i++ {
+			// Fuzzed reward inputs: arbitrary directed router pairs and link
+			// kinds must never corrupt a learning policy's tables.
+			if fb != nil {
+				from := topology.RouterID((int(satRaw) + i) % nr)
+				to := topology.RouterID((int(satRaw) >> 4) % nr)
+				kind := routing.Global
+				if i%2 == 1 {
+					kind = routing.Local
+				}
+				fb.ObserveSaturation(from, to, kind)
+			}
+			p, err := ch.TryRoute(src, dst)
+			if err != nil {
+				if !degraded {
+					t.Fatalf("machine %s policy %d %d->%d: error on healthy fabric: %v",
+						topo.Name(), policySel%3, src, dst, err)
+				}
+				if !errors.Is(err, routing.ErrUnreachable) {
+					t.Fatalf("machine %s policy %d %d->%d: untyped failure: %v",
+						topo.Name(), policySel%3, src, dst, err)
+				}
+				continue
+			}
+			if err := routing.Validate(topo, rs, rd, p); err != nil {
+				t.Fatalf("machine %s policy %d %d->%d: invalid route: %v\npath: %+v",
+					topo.Name(), policySel%3, src, dst, err, p.Hops)
+			}
+			if g := p.GlobalHops(); g > routing.NumGlobalVC {
+				t.Fatalf("route %d->%d crosses %d global links (VC classes allow %d)", src, dst, g, routing.NumGlobalVC)
+			}
+			if degraded {
+				for _, h := range p.Hops {
+					if !set.RouterUp(h.From) || !set.RouterUp(h.To) {
+						t.Fatalf("policy %d %d->%d: hop %d->%d touches a failed router", policySel%3, src, dst, h.From, h.To)
+					}
+					switch h.Kind {
+					case routing.Local:
+						if !set.LocalLinkUp(h.From, h.To) {
+							t.Fatalf("policy %d %d->%d: hop traverses failed local link %d-%d", policySel%3, src, dst, h.From, h.To)
+						}
+					case routing.Global:
+						if !liveGlobal[[2]topology.RouterID{h.From, h.To}] {
+							t.Fatalf("policy %d %d->%d: hop traverses dead global pair %d-%d", policySel%3, src, dst, h.From, h.To)
+						}
+					}
+				}
+			}
+			ch.Release(p)
+		}
+	})
+}
+
 // FuzzRouteFaults is the degraded-fabric companion of FuzzRoute (whose
 // signature and corpus stay frozen): arbitrary machine shapes carry an
 // arbitrary seeded fault draw, and every TryRoute outcome must be either a

@@ -1,0 +1,236 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/topotest"
+)
+
+// twoGroup wires the smallest sensible two-group XC40: the toy machine of
+// the Q-table convergence tests, where "the other group" is the only
+// inter-group destination and the learned detour decision is isolated from
+// transit-group effects.
+func twoGroup(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	topo, err := topology.New(topology.Config{
+		Groups: 2, Rows: 2, Cols: 4,
+		NodesPerRouter: 2, GlobalPortsPerRouter: 3, ChassisPerCabinet: 1,
+	})
+	if err != nil {
+		t.Fatalf("two-group machine: %v", err)
+	}
+	return topo
+}
+
+func newQChooser(t *testing.T, topo topology.Interconnect, cong Congestion, cfg QAdaptiveConfig) (*Chooser, *QAdaptivePolicy) {
+	t.Helper()
+	ch := NewChooserOpts(topo, QAdaptive, des.NewRNG(7, "q").Stream("route"), cong, Options{
+		Policy: func() Policy { return NewQAdaptivePolicy(cfg) },
+	})
+	q, ok := ch.Policy().(*QAdaptivePolicy)
+	if !ok {
+		t.Fatalf("installed policy is %T, want *QAdaptivePolicy", ch.Policy())
+	}
+	return ch, q
+}
+
+func TestQAdaptiveUpdateMath(t *testing.T) {
+	ch, q := newQChooser(t, topotest.Mini(t), nil, QAdaptiveConfig{
+		Alpha: 0.5, Penalty: 1000, PenaltyDecay: 0.5,
+	})
+	_ = ch
+
+	// EMA: from 0, cost 100 at alpha 0.5 gives 50, then 75, then 87.5.
+	for i, want := range []float64{50, 75, 87.5} {
+		if got := q.update(1, qClassMinimal, 100); got != want {
+			t.Fatalf("update %d = %v, want %v", i, got, want)
+		}
+	}
+	qMin, qVal := q.QValues(0, 1)
+	if qMin != 87.5 || qVal != 0 {
+		t.Fatalf("QValues(0,1) = %v, %v; want 87.5, 0 (valiant class untouched)", qMin, qVal)
+	}
+}
+
+func TestQAdaptivePenaltyAccumulateDecay(t *testing.T) {
+	topo := topotest.Mini(t)
+	_, q := newQChooser(t, topo, nil, QAdaptiveConfig{
+		Alpha: 0.5, Penalty: 1000, PenaltyDecay: 0.5,
+	})
+
+	// Two saturation onsets on a group 0 -> group 1 global link accumulate
+	// 2x Penalty on that pair; other pairs and non-global kinds are free.
+	var gw topology.Gateway
+	for _, cand := range topo.Gateways(0, 1) {
+		gw = cand
+		break
+	}
+	q.ObserveSaturation(gw.Router, gw.Peer, Global)
+	q.ObserveSaturation(gw.Router, gw.Peer, Global)
+	q.ObserveSaturation(gw.Router, gw.Router+1, Local) // ignored
+	if got := q.PendingPenalty(0, 1); got != 2000 {
+		t.Fatalf("pending penalty = %v, want 2000", got)
+	}
+	if got := q.PendingPenalty(1, 0); got != 0 {
+		t.Fatalf("reverse pair charged: %v", got)
+	}
+
+	// Decay-on-read: the consumer sees the full value; the store halves.
+	pair := 0*q.n + 1
+	if got := q.takePenalty(pair); got != 2000 {
+		t.Fatalf("takePenalty = %v, want 2000", got)
+	}
+	if got := q.PendingPenalty(0, 1); got != 1000 {
+		t.Fatalf("post-read penalty = %v, want 1000", got)
+	}
+	if got := q.takePenalty(pair); got != 1000 {
+		t.Fatalf("second takePenalty = %v, want 1000", got)
+	}
+}
+
+func TestQAdaptiveConfigDefaults(t *testing.T) {
+	cfg := QAdaptiveConfig{}.withDefaults()
+	if cfg.Alpha != 0.125 || cfg.Penalty != 4*DefaultMinimalBias || cfg.PenaltyDecay != 0.875 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	keep := QAdaptiveConfig{Alpha: 0.25, Penalty: 7, PenaltyDecay: 0.5}
+	if got := keep.withDefaults(); got != keep {
+		t.Fatalf("explicit config rewritten: %+v", got)
+	}
+}
+
+// No traffic, no saturation: the learned minimal estimate stays at the
+// (tiny) hop-count score, the Valiant estimate above it, and qadaptive is
+// behaviorally plain minimal routing — zero misroutes over a full sweep.
+func TestQAdaptiveNoTrafficDegeneratesToMinimal(t *testing.T) {
+	topo := twoGroup(t)
+	ch, q := newQChooser(t, topo, nil, QAdaptiveConfig{})
+	rng := des.NewRNG(9, "pairs")
+	n := topo.NumNodes()
+	for i := 0; i < 2000; i++ {
+		s := topology.NodeID(rng.Intn(n))
+		d := topology.NodeID(rng.Intn(n))
+		p := ch.Route(s, d)
+		rs, rd := topo.RouterOfNode(s), topo.RouterOfNode(d)
+		if err := Validate(topo, rs, rd, p); err != nil {
+			t.Fatalf("route %d->%d: %v", s, d, err)
+		}
+		if topo.GroupOfNode(s) != topo.GroupOfNode(d) && p.GlobalHops() != 1 {
+			t.Fatalf("idle-network route %d->%d crosses %d global links, want the minimal 1", s, d, p.GlobalHops())
+		}
+		ch.Release(p)
+	}
+	if got := q.Misroutes(); got != 0 {
+		t.Fatalf("idle network misrouted %d times, want 0", got)
+	}
+	qMin, qVal := q.QValues(0, 1)
+	if !(qMin < qVal) {
+		t.Fatalf("idle estimates qMin=%v qVal=%v, want qMin < qVal", qMin, qVal)
+	}
+}
+
+// Saturation feedback on the direct global links must flip the decision:
+// after a sustained burst on the 0 -> 1 pair, the minimal-class estimate
+// exceeds the Valiant one by more than the bias and the policy detours.
+func TestQAdaptiveLearnsToDetour(t *testing.T) {
+	topo := twoGroup(t)
+	ch, q := newQChooser(t, topo, nil, QAdaptiveConfig{})
+	rng := des.NewRNG(10, "pairs")
+	n := topo.NumNodes()
+
+	gws := topo.Gateways(0, 1)
+	misroutesBefore := q.Misroutes()
+	for i := 0; i < 400; i++ {
+		// A saturation burst across every direct 0 -> 1 global link per
+		// route keeps the pending penalty high against its per-read decay.
+		for _, gw := range gws {
+			q.ObserveSaturation(gw.Router, gw.Peer, Global)
+		}
+		// Inter-group traffic 0 -> 1 only: draw until the pair crosses.
+		s := topology.NodeID(rng.Intn(n / 2))
+		d := topology.NodeID(n/2 + rng.Intn(n/2))
+		p := ch.Route(s, d)
+		if err := Validate(topo, topo.RouterOfNode(s), topo.RouterOfNode(d), p); err != nil {
+			t.Fatalf("route %d->%d: %v", s, d, err)
+		}
+		ch.Release(p)
+	}
+	if got := q.Misroutes(); got <= misroutesBefore {
+		t.Fatalf("policy never detoured despite saturated direct links (misroutes %d)", got)
+	}
+	qMin, qVal := q.QValues(0, 1)
+	if !(qMin > qVal+float64(ch.MinimalBias())) {
+		t.Fatalf("learned estimates qMin=%v qVal=%v do not justify detour", qMin, qVal)
+	}
+	// The unpunished reverse direction keeps preferring minimal.
+	rMin, rVal := q.QValues(1, 0)
+	if rMin > rVal+float64(ch.MinimalBias()) {
+		t.Fatalf("reverse pair learned a detour without feedback: qMin=%v qVal=%v", rMin, rVal)
+	}
+
+	// And with the feedback silenced, the decayed penalty lets the pair
+	// drift back to minimal.
+	for i := 0; i < 2000; i++ {
+		s := topology.NodeID(rng.Intn(n / 2))
+		d := topology.NodeID(n/2 + rng.Intn(n/2))
+		ch.Release(ch.Route(s, d))
+	}
+	qMin, qVal = q.QValues(0, 1)
+	if !(qMin < qVal+float64(ch.MinimalBias())) {
+		t.Fatalf("penalty never decayed: qMin=%v qVal=%v", qMin, qVal)
+	}
+}
+
+// Feedback plumbing: the chooser exposes the learning hook for qadaptive
+// and nothing for the static built-ins.
+func TestChooserFeedback(t *testing.T) {
+	topo := topotest.Mini(t)
+	for _, mech := range []Mechanism{Minimal, Adaptive} {
+		ch := NewChooser(topo, mech, des.NewRNG(1, "fb"), nil)
+		if fb := ch.Feedback(); fb != nil {
+			t.Fatalf("%v chooser has feedback %T, want nil", mech, fb)
+		}
+	}
+	ch := NewChooser(topo, QAdaptive, des.NewRNG(1, "fb"), nil)
+	if ch.Feedback() == nil {
+		t.Fatal("qadaptive chooser has no feedback hook")
+	}
+	if name := ch.Policy().Name(); name != "qadaptive" {
+		t.Fatalf("policy name %q", name)
+	}
+}
+
+// Same seed, same feedback sequence: the learned state and every route are
+// reproducible bit for bit.
+func TestQAdaptiveDeterministic(t *testing.T) {
+	run := func() (uint64, float64, float64) {
+		topo := twoGroup(t)
+		ch, q := newQChooser(t, topo, saltedCong{}, QAdaptiveConfig{})
+		rng := des.NewRNG(21, "pairs")
+		n := topo.NumNodes()
+		gws := topo.Gateways(0, 1)
+		var sig uint64 = 14695981039346656037
+		for i := 0; i < 300; i++ {
+			if i%3 == 0 {
+				q.ObserveSaturation(gws[i%len(gws)].Router, gws[i%len(gws)].Peer, Global)
+			}
+			s := topology.NodeID(rng.Intn(n))
+			d := topology.NodeID(rng.Intn(n))
+			p := ch.Route(s, d)
+			for _, h := range p.Hops {
+				sig = (sig ^ uint64(h.From)<<24 ^ uint64(h.To)<<8 ^ uint64(h.VC)) * 1099511628211
+			}
+			ch.Release(p)
+		}
+		qMin, qVal := q.QValues(0, 1)
+		return sig, qMin, qVal
+	}
+	s1, m1, v1 := run()
+	s2, m2, v2 := run()
+	if s1 != s2 || math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("two identical runs diverged: %x/%v/%v vs %x/%v/%v", s1, m1, v1, s2, m2, v2)
+	}
+}

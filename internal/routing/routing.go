@@ -27,7 +27,8 @@ import (
 	"dragonfly/internal/topology"
 )
 
-// Mechanism selects between the paper's two routing policies.
+// Mechanism names a built-in routing policy (see policy.go for the SPI
+// the named policies implement).
 type Mechanism int
 
 const (
@@ -35,27 +36,36 @@ const (
 	Minimal Mechanism = iota
 	// Adaptive chooses among minimal and Valiant candidates by congestion.
 	Adaptive
+	// QAdaptive chooses minimal vs. Valiant per group pair from a Q-table
+	// learned online from link-saturation feedback (see qadaptive.go).
+	QAdaptive
 )
 
-// String returns the paper's abbreviation for the mechanism ("min"/"adp").
+// String returns the CLI abbreviation for the mechanism
+// ("min"/"adp"/"qadaptive").
 func (m Mechanism) String() string {
 	switch m {
 	case Minimal:
 		return "min"
 	case Adaptive:
 		return "adp"
+	case QAdaptive:
+		return "qadaptive"
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
 }
 
-// ParseMechanism converts "min"/"minimal"/"adp"/"adaptive" to a Mechanism.
+// ParseMechanism converts a policy name — "min"/"minimal", "adp"/
+// "adaptive", or "qadaptive"/"qadp" — to its Mechanism.
 func ParseMechanism(s string) (Mechanism, error) {
 	switch s {
 	case "min", "minimal":
 		return Minimal, nil
 	case "adp", "adaptive":
 		return Adaptive, nil
+	case "qadaptive", "qadp":
+		return QAdaptive, nil
 	}
 	return 0, fmt.Errorf("routing: unknown mechanism %q", s)
 }
@@ -192,6 +202,13 @@ type Options struct {
 	// fault events. nil (the default) is the healthy fabric and costs one
 	// nil check per route.
 	Health topology.Health
+	// Policy, when non-nil, overrides the Mechanism passed to the chooser
+	// constructor: each chooser installs a fresh instance from the
+	// factory as its decision policy (see policy.go for the contract). A
+	// factory rather than an instance, because Options is copied into
+	// every chooser of a parallel sweep and policy state must stay
+	// per-chooser.
+	Policy PolicyFactory
 }
 
 // DefaultMinimalBias is the default misrouting threshold: a non-minimal
@@ -239,11 +256,12 @@ const (
 // a new topology implementation pays no per-event interface-dispatch cost
 // and cannot perturb the hot path.
 type Chooser struct {
-	topo topology.Interconnect
-	mech Mechanism
-	rng  *des.RNG
-	cong Congestion
-	opts Options
+	topo   topology.Interconnect
+	mech   Mechanism
+	policy Policy
+	rng    *des.RNG
+	cong   Congestion
+	opts   Options
 
 	numRouters      int
 	numGroups       int
@@ -389,6 +407,12 @@ func NewChooserOpts(topo topology.Interconnect, mech Mechanism, rng *des.RNG, co
 	}
 	c.health = opts.Health
 	c.RebuildHealth()
+	if opts.Policy != nil {
+		c.policy = opts.Policy()
+	} else {
+		c.policy = BuiltinPolicy(mech)
+	}
+	c.policy.Bind(c)
 	return c
 }
 
@@ -448,14 +472,7 @@ func (c *Chooser) TryRoute(src, dst topology.NodeID) (Path, error) {
 	if rs == rd {
 		return Path{}, nil
 	}
-	switch c.mech {
-	case Minimal:
-		return c.minimalPath(rs, rd), nil
-	case Adaptive:
-		return c.adaptivePath(rs, rd), nil
-	default:
-		panic(fmt.Sprintf("routing: unknown mechanism %d", int(c.mech)))
-	}
+	return c.policy.Route(rs, rd), nil
 }
 
 // appendLocalDOR appends the machine's canonical minimal intra-group segment
@@ -594,7 +611,10 @@ func (c *Chooser) minimalDeterministic(rs, rd topology.RouterID) bool {
 	return len(c.gatewayCandidates(rs, gs, gd)) == 1
 }
 
-func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
+// MinimalPath builds the minimal route between two distinct routers on the
+// healthy fabric — the chooser's primary construction primitive, served
+// from the deterministic path cache when the pair qualifies.
+func (c *Chooser) MinimalPath(rs, rd topology.RouterID) Path {
 	if c.pathState != nil {
 		idx := int(rs)*c.numRouters + int(rd)
 		switch c.pathState[idx] {
@@ -638,14 +658,15 @@ func (c *Chooser) minimalPath(rs, rd topology.RouterID) Path {
 	return Path{Hops: hops, arena: c.useArena}
 }
 
-// valiantPath routes minimally to a random intermediate router (drawn from
+// ValiantPath routes minimally to a random intermediate router (drawn from
 // the machine's eligible set — every router on the XC40 grid, leaves only on
 // Dragonfly+), then minimally to the destination, bumping the VC class at
-// the intermediate.
-func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
+// the intermediate. One RNG draw per call, even when the draw degenerates
+// to the minimal path.
+func (c *Chooser) ValiantPath(rs, rd topology.RouterID) Path {
 	mid := c.valiant[c.rng.Intn(len(c.valiant))]
 	if mid == rs || mid == rd {
-		return c.minimalPath(rs, rd)
+		return c.MinimalPath(rs, rd)
 	}
 	var st segmentState
 	hops, cur := c.appendMinimal(c.getHops(), rs, mid, &st)
@@ -654,58 +675,20 @@ func (c *Chooser) valiantPath(rs, rd topology.RouterID) Path {
 	return Path{Hops: hops, arena: c.useArena}
 }
 
-// adaptivePath implements the UGAL-style choice described in the paper:
-// up to two minimal and two non-minimal candidates, scored by source-router
-// backlog toward the candidate's first hop times the candidate's length.
-// Losing candidates' hop storage goes back to the arena immediately; the
-// winner's is released by the packet's owner at delivery.
-func (c *Chooser) adaptivePath(rs, rd topology.RouterID) Path {
-	cands := append(c.candBuf[:0], c.minimalPath(rs, rd))
-	nMin := 1
-	if c.groupOf[rs] != c.groupOf[rd] {
-		// A second minimal candidate only exists when gateway choice varies.
-		cands = append(cands, c.minimalPath(rs, rd))
-		nMin = 2
-	}
-	nonMin := c.opts.valiantCandidates()
-	for i := 0; i < nonMin; i++ {
-		cands = append(cands, c.valiantPath(rs, rd))
-	}
-	c.candBuf = cands[:0]
-
-	minIdx, minScore := pickBest(c, cands[:nMin])
-	nonIdx, nonScore := pickBest(c, cands[nMin:])
-	nonIdx += nMin
-
-	// Misroute only when the non-minimal candidate wins by more than the
-	// minimal-preference bias, as Aries adaptive routing does.
-	win := minIdx
-	if nonScore+c.opts.minimalBias() < minScore {
-		win = nonIdx
-	}
-	for i := range cands {
-		// Arena-owned candidates never alias each other (cache hits are
-		// marked shared), so each loser is recycled exactly once.
-		if i != win && cands[i].arena {
-			c.putHops(cands[i].Hops)
-		}
-	}
-	return cands[win]
-}
-
 func pickBest(c *Chooser, paths []Path) (int, int64) {
 	best := 0
-	bestScore := c.score(paths[0])
+	bestScore := c.Score(paths[0])
 	for i, p := range paths[1:] {
-		if s := c.score(p); s < bestScore {
+		if s := c.Score(p); s < bestScore {
 			best, bestScore = i+1, s
 		}
 	}
 	return best, bestScore
 }
 
-// score is backlog-at-first-hop x hop count; an empty path scores zero.
-func (c *Chooser) score(p Path) int64 {
+// Score is the UGAL candidate metric: backlog-at-first-hop x hop count; an
+// empty path scores zero.
+func (c *Chooser) Score(p Path) int64 {
 	if len(p.Hops) == 0 {
 		return 0
 	}

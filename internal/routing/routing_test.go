@@ -92,7 +92,7 @@ func TestValiantPathsValid(t *testing.T) {
 		if rs == rd {
 			continue
 		}
-		p := ch.valiantPath(rs, rd)
+		p := ch.ValiantPath(rs, rd)
 		if err := Validate(topo, rs, rd, p); err != nil {
 			t.Fatalf("valiant %d->%d: %v", s, d, err)
 		}
