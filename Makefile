@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke
+.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke farm-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,22 @@ bench:
 # ns/op deltas print as advisory only.
 bench-diff:
 	$(GO) run ./cmd/dfbench -scale -diff -against BENCH_des.json
+
+# Sweep-farm smoke: run a small dffarm job cold (every cell simulates and
+# is banked in the content-addressed store), rerun it warm (every cell must
+# replay — the grep fails the target if anything re-simulated), and require
+# the training corpora of the two passes byte-identical. Exercises the
+# whole farm path end to end: sweep grammar, canonical config addressing,
+# store integrity verification, corpus emission.
+FARM_SMOKE := /tmp/dffarm-smoke
+farm-smoke: build
+	rm -rf $(FARM_SMOKE) && mkdir -p $(FARM_SMOKE)
+	$(GO) run ./cmd/dffarm -cache $(FARM_SMOKE)/farm -apps CR,FB -placements cont,rand -routings min,adp -quiet -corpus $(FARM_SMOKE)/cold.csv 2>&1 | tee $(FARM_SMOKE)/cold.log
+	grep -q "0 hits, 8 simulated" $(FARM_SMOKE)/cold.log
+	$(GO) run ./cmd/dffarm -cache $(FARM_SMOKE)/farm -apps CR,FB -placements cont,rand -routings min,adp -resume -quiet -corpus $(FARM_SMOKE)/warm.csv 2>&1 | tee $(FARM_SMOKE)/warm.log
+	grep -q "8 hits, 0 simulated" $(FARM_SMOKE)/warm.log
+	cmp $(FARM_SMOKE)/cold.csv $(FARM_SMOKE)/warm.csv
+	@echo "farm-smoke: warm rerun replayed all 8 cells from the store; corpora byte-identical"
 
 # Big-machine shakeout: wire ~20k-router Dragonfly and Dragonfly+ machines,
 # route 1k validated sampled pairs each, and drive an audited traffic burst

@@ -1,0 +1,241 @@
+// Command dffarm executes sweep jobs against a content-addressed result
+// farm: the cross product of the flag lists below defines the job's cells,
+// each cell's full run configuration is hashed into a content address, and
+// the farm store under -cache banks every simulated result. Re-running a
+// job (or any overlapping job) replays banked cells byte-identically
+// instead of re-simulating, a corrupt or truncated entry silently degrades
+// to a re-run, and -shard I/N splits one job across N cooperating
+// processes sharing the store. -corpus flattens the completed sweep into
+// one CSV of (configuration features, measured targets) per cell — the
+// training corpus for a future surrogate model.
+//
+// The flag vocabulary is dfsweep's, and cells are built by the experiments
+// runner itself, so a store populated by dffarm also serves farm-backed
+// experiment reruns (dfsweep over the same scale/seed) and vice versa.
+//
+// Examples:
+//
+//	dffarm -cache farm/ -apps CR -placements cont,rand -routings min,adp
+//	dffarm -cache farm/ -apps CR,FB,AMG -seeds 1,2,3 -corpus corpus.csv
+//	dffarm -cache farm/ -apps CR -faults "none;global=0.1;global=0.25" -shard 0/4
+//	dffarm -cache farm/ -apps CR -resume -quiet -corpus corpus.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dragonfly"
+	"dragonfly/internal/cliutil"
+)
+
+func main() {
+	var (
+		cacheDir = flag.String("cache", "", "farm store directory (required; created if absent)")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
+		topoName = flag.String("topo", "", "machine preset override: theta, mini, dfplus, or dfplus-mini (default: the scale's XC40 machine)")
+		apps     = flag.String("apps", "CR", "comma-separated applications: CR, FB, AMG")
+		placeStr = flag.String("placements", "cont,rand", "comma-separated placement policies: cont, cab, chas, rotr, rand")
+		routeStr = flag.String("routings", "min,adp", "comma-separated routing policies: min, adp, qadaptive")
+		mapStr   = flag.String("mappings", "identity", "comma-separated task mappings: identity, shuffle, router-packed, group-packed")
+		scaleStr = flag.String("msg-scales", "1", "comma-separated message-size multipliers")
+		seedStr  = flag.String("seeds", "1", "comma-separated simulation seeds")
+		bgStr    = flag.String("backgrounds", "none", "comma-separated interference kinds: none, uniform, bursty (scale-default volumes)")
+		faultStr = flag.String("faults", "", "semicolon-separated fault-spec sweep; each element uses the dfsweep -faults grammar, 'none' or empty = healthy fabric")
+		faultSd  = flag.Int64("fault-seed", 0, "override every fault spec's seed= clause (0 keeps each spec's own seed)")
+		burst    = flag.Int("burst-divisor", 0, "bursty-background volume divisor (0 = scale default)")
+		auditOn  = flag.Bool("audit", false, "run every cell under the invariant auditor")
+		parallel = flag.Int("parallel", 0, "worker pool (1 = sequential, 0 = NumCPU)")
+		shardStr = flag.String("shard", "", "execute shard I/N of the job (e.g. 0/4); cells are split round-robin and other processes run the rest against the same -cache")
+		resume   = flag.Bool("resume", false, "report how much of the job the store already banks before running (completion is address-driven, so resuming is always safe)")
+		corpus   = flag.String("corpus", "", "write the sweep's training-corpus CSV to this file (other shards' cells are skipped)")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if *cacheDir == "" {
+		cliutil.Usagef("dffarm", "-cache is required (the farm store directory)")
+	}
+	shard, numShards, err := cliutil.Shard(*shardStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+
+	// Resolve every sweep axis up front so flag mistakes exit before any
+	// simulation starts.
+	opts := dragonfly.ExperimentOptions{
+		BurstDivisor: *burst,
+		Audit:        *auditOn,
+	}
+	switch *scale {
+	case "quick":
+		opts.Scale = dragonfly.ScaleQuick
+	case "paper":
+		opts.Scale = dragonfly.ScalePaper
+	default:
+		cliutil.Usagef("dffarm", "scale %q: want quick or paper", *scale)
+	}
+	if *topoName != "" {
+		m, err := cliutil.Machine(*topoName, "", "")
+		if err != nil {
+			cliutil.Usagef("dffarm", "%v", err)
+		}
+		opts.Machine = m
+	}
+	placements, err := cliutil.Placements(*placeStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	routings, err := cliutil.Routings(*routeStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	mappings, err := cliutil.Mappings(*mapStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	msgScales, err := cliutil.FloatList("msg-scales", *scaleStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	seeds, err := cliutil.Int64List("seeds", *seedStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	faultSpecs, err := cliutil.FaultSpecs(*faultStr, *faultSd)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	var bgKinds []string
+	for _, s := range strings.Split(*bgStr, ",") {
+		if _, _, err := cliutil.Background(s); err != nil {
+			cliutil.Usagef("dffarm", "%v", err)
+		}
+		bgKinds = append(bgKinds, strings.TrimSpace(s))
+	}
+	appNames := strings.Split(*apps, ",")
+
+	// The runner builds each cell's configuration exactly as the experiment
+	// harness would (same machine, params, watchdog, interference volumes),
+	// so dffarm cells and experiment cells share content addresses. Axes the
+	// runner options don't span — per-cell seeds, fault specs, mappings —
+	// are overridden on the built config, which is equivalent to a runner
+	// constructed with those options.
+	runner := dragonfly.NewRunner(opts)
+	var cfgs []dragonfly.Config
+	for _, app := range appNames {
+		app = strings.TrimSpace(app)
+		if _, err := runner.AppTrace(app); err != nil {
+			cliutil.Usagef("dffarm", "%v (want CR, FB, or AMG)", err)
+		}
+		for _, bgName := range bgKinds {
+			kind, on, _ := cliutil.Background(bgName)
+			var bg *dragonfly.BackgroundConfig
+			if on {
+				b, err := runner.Background(kind, app)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				bg = b
+			}
+			for _, pl := range placements {
+				for _, rt := range routings {
+					for _, mp := range mappings {
+						for _, ms := range msgScales {
+							for _, seed := range seeds {
+								for _, fs := range faultSpecs {
+									cfg, err := runner.CellConfig(app, dragonfly.Cell{Placement: pl, Routing: rt}, ms, bg)
+									if err != nil {
+										fatalf("%v", err)
+									}
+									cfg.Mapping = mp
+									cfg.Seed = seed
+									cfg.Faults = fs
+									cfgs = append(cfgs, cfg)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(cfgs) == 0 {
+		cliutil.Usagef("dffarm", "the sweep grammar produced no cells")
+	}
+
+	store, err := dragonfly.OpenFarm(*cacheDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	addrs := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		if addrs[i], err = dragonfly.ConfigAddress(cfg); err != nil {
+			fatalf("cell %d: %v", i, err)
+		}
+	}
+	job := dragonfly.FarmJobID(addrs)
+	spec := fmt.Sprintf("apps=%s scale=%s topo=%s placements=%s routings=%s mappings=%s msg-scales=%s seeds=%s backgrounds=%s faults=%q",
+		*apps, *scale, *topoName, *placeStr, *routeStr, *mapStr, *scaleStr, *seedStr, *bgStr, *faultStr)
+	banked := store.CountCached(addrs)
+	if *resume {
+		if m, err := store.LoadManifest(job); err == nil {
+			fmt.Fprintf(os.Stderr, "dffarm: resuming job %s (%s): previously %d/%d done\n", job, m.Spec, m.Done, m.Cells)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dffarm: job %s: %d cells (%d banked), shard %d/%d, cache %s\n",
+		job, len(cfgs), banked, shard, numShards, *cacheDir)
+
+	start := time.Now()
+	fopts := dragonfly.FarmOptions{Parallel: *parallel, Shard: shard, NumShards: numShards}
+	if !*quiet {
+		fopts.Progress = func(ev dragonfly.FarmProgress) {
+			kind := "miss"
+			switch {
+			case ev.Err != nil:
+				kind = "FAIL"
+			case ev.Hit:
+				kind = "hit "
+			}
+			elapsed := time.Since(start)
+			eta := time.Duration(float64(elapsed) / float64(ev.Done) * float64(ev.Total-ev.Done)).Round(time.Second)
+			fmt.Fprintf(os.Stderr, "dffarm: [%d/%d] %s %.12s cell=%v elapsed=%v eta=%v\n",
+				ev.Done, ev.Total, kind, ev.Addr, ev.Elapsed.Round(time.Millisecond),
+				elapsed.Round(time.Second), eta)
+		}
+	}
+	results, stats, runErr := dragonfly.NewFarm(store, fopts).Run(cfgs)
+
+	manifest := &dragonfly.FarmManifest{Job: job, Spec: spec, Cells: len(cfgs), Done: store.CountCached(addrs)}
+	if err := store.SaveManifest(manifest); err != nil {
+		fmt.Fprintf(os.Stderr, "dffarm: manifest not saved: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "dffarm: %d/%d cells done (this shard: %d hits, %d simulated, %d corrupt re-run, %d uncacheable, %d errors) in %v\n",
+		manifest.Done, manifest.Cells, stats.Hits, stats.Misses, stats.Corrupt, stats.Uncacheable, stats.Errors,
+		time.Since(start).Round(time.Millisecond))
+	if runErr != nil {
+		fatalf("%v", runErr)
+	}
+
+	if *corpus != "" {
+		f, err := os.Create(*corpus)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rows, skipped, err := dragonfly.WriteFarmCorpus(f, cfgs, results)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("corpus: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dffarm: wrote %d corpus rows to %s (%d cells on other shards)\n", rows, *corpus, skipped)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dffarm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ func main() {
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant auditor (fails loudly on any flow-control, conservation, or routing violation)")
 		faultStr = flag.String("faults", "", "degrade every simulation's fabric (extension beyond the paper): comma clauses global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, fail|repair=link:A-B@DUR or router:ID@DUR, seed=N; figr drives its own fractions and ignores this")
 		faultSd  = flag.Int64("fault-seed", 0, "override the fault spec's seed= clause (0 keeps the spec's own seed)")
+		farmDir  = flag.String("farm-cache", "", "content-addressed result farm directory (see dffarm): banked cells replay instead of re-simulating, fresh cells are banked; reports are byte-identical either way")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -78,6 +79,13 @@ func main() {
 		cliutil.Usagef("dfsweep", "%v", err)
 	}
 	opts.Faults = fspec
+	if *farmDir != "" {
+		store, err := dragonfly.OpenFarm(*farmDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Farm = store
+	}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -110,6 +118,11 @@ func main() {
 			fatalf("write: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dfsweep: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *farmDir != "" {
+		st := runner.FarmStats()
+		fmt.Fprintf(os.Stderr, "dfsweep: farm %s: %d hits, %d simulated, %d corrupt re-run\n",
+			*farmDir, st.Hits, st.Misses, st.Corrupt)
 	}
 }
 

@@ -25,10 +25,13 @@
 package dragonfly
 
 import (
+	"io"
+
 	"dragonfly/internal/audit"
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
 	"dragonfly/internal/experiments"
+	"dragonfly/internal/farm"
 	"dragonfly/internal/faults"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/network"
@@ -336,6 +339,51 @@ const (
 
 // NewRunner builds an experiment runner.
 func NewRunner(opts ExperimentOptions) *ExperimentRunner { return experiments.NewRunner(opts) }
+
+// Sweep farm: a content-addressed, integrity-checked on-disk store of
+// simulation results (see cmd/dffarm). Every run configuration has one
+// canonical encoding whose SHA-256 is its address; banked cells replay
+// byte-identically instead of re-simulating, corrupt or missing entries
+// degrade to a re-run, and sweeps shard across processes via FarmOptions.
+type (
+	// FarmStore is the on-disk content-addressed result store.
+	FarmStore = farm.Store
+	// Farm executes config sets against a FarmStore.
+	Farm = farm.Farm
+	// FarmOptions configures parallelism, sharding, and progress callbacks.
+	FarmOptions = farm.Options
+	// FarmStats is the hit/miss/corrupt accounting of a farm run.
+	FarmStats = farm.Stats
+	// FarmProgress describes one finished sweep cell.
+	FarmProgress = farm.Progress
+	// FarmManifest is the advisory bookkeeping record of one sweep job.
+	FarmManifest = farm.Manifest
+)
+
+// OpenFarm opens (creating if needed) a farm store rooted at dir.
+func OpenFarm(dir string) (*FarmStore, error) { return farm.Open(dir) }
+
+// NewFarm builds a Farm over a store.
+func NewFarm(store *FarmStore, opts FarmOptions) *Farm { return farm.New(store, opts) }
+
+// EncodeConfig returns the canonical encoding of a run configuration — the
+// identity the farm hashes into a content address. Configs without a
+// canonical identity (nil trace or machine, a pre-resolved fault state)
+// return an error.
+func EncodeConfig(cfg Config) (string, error) { return farm.Encode(cfg) }
+
+// ConfigAddress returns the content address (SHA-256 of the canonical
+// encoding) of a run configuration.
+func ConfigAddress(cfg Config) (string, error) { return farm.Address(cfg) }
+
+// FarmJobID derives the stable job identifier of an ordered address list.
+func FarmJobID(addrs []string) string { return farm.JobID(addrs) }
+
+// WriteFarmCorpus emits the flat training-corpus CSV for a completed sweep:
+// one row per config with a result, features then measured targets.
+func WriteFarmCorpus(w io.Writer, cfgs []Config, results []*Result) (rows, skipped int, err error) {
+	return farm.WriteCorpus(w, cfgs, results)
+}
 
 // ExperimentIDs lists every reproducible artifact: table1, table2,
 // fig2 … fig10.

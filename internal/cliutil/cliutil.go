@@ -164,6 +164,88 @@ func BuildWorkers(n int) (int, error) {
 	return par.Workers(), nil
 }
 
+// Mappings parses a comma-separated task-mapping sweep list.
+func Mappings(csv string) ([]mapping.Policy, error) {
+	var pols []mapping.Policy
+	for _, s := range strings.Split(csv, ",") {
+		p, err := Mapping(s)
+		if err != nil {
+			return nil, err
+		}
+		pols = append(pols, p)
+	}
+	return pols, nil
+}
+
+// Shard parses the -shard flag: "i/n" selects shard i of n (0 <= i < n);
+// the empty string means unsharded (0 of 1).
+func Shard(s string) (shard, numShards int, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 1, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard %q: want I/N (e.g. 0/4)", s)
+	}
+	shard, err1 := strconv.Atoi(strings.TrimSpace(i))
+	numShards, err2 := strconv.Atoi(strings.TrimSpace(n))
+	if err1 != nil || err2 != nil || numShards < 1 || shard < 0 || shard >= numShards {
+		return 0, 0, fmt.Errorf("shard %q: want I/N with 0 <= I < N", s)
+	}
+	return shard, numShards, nil
+}
+
+// Int64List parses a comma-separated integer sweep list (e.g. -seeds).
+func Int64List(flagName, csv string) ([]int64, error) {
+	var out []int64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s %q: %q is not an integer", flagName, csv, strings.TrimSpace(s))
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FloatList parses a comma-separated float sweep list (e.g. -msg-scales).
+func FloatList(flagName, csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s %q: %q is not a number", flagName, csv, strings.TrimSpace(s))
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FaultSpecs parses a semicolon-separated fault-spec sweep list (each
+// element uses the FaultSpec grammar, whose clauses are comma-separated;
+// "none" or an empty element means the healthy fabric). An empty string
+// yields the single-element healthy sweep, so a cross product over the
+// result always includes the undegraded machine exactly once.
+func FaultSpecs(text string, seed int64) ([]*faults.Spec, error) {
+	var specs []*faults.Spec
+	for _, s := range strings.Split(text, ";") {
+		s = strings.TrimSpace(s)
+		if s == "none" {
+			s = ""
+		}
+		sp, err := FaultSpec(s, seed)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Empty() {
+			sp = nil
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
 // FaultSpec parses the -faults grammar (see faults.ParseSpec) and applies
 // the -fault-seed override when seed is non-zero. An empty string yields the
 // empty spec, which downstream layers skip entirely.

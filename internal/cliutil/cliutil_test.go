@@ -64,6 +64,30 @@ func TestParsers(t *testing.T) {
 		{"faults/seed-override", func() (interface{}, error) { s, err := FaultSpec("global=0.25,seed=9", 4); return s.Seed, err }, int64(4), ""},
 		{"faults/bad-clause", func() (interface{}, error) { return FaultSpec("global=2", 0) }, nil, "clauses: global=FRAC"},
 		{"faults/unknown-key", func() (interface{}, error) { return FaultSpec("cables=3", 0) }, nil, "clauses: global=FRAC"},
+
+		{"mappings/list", func() (interface{}, error) { p, err := Mappings("identity, shuffle"); return len(p), err }, 2, ""},
+		{"mappings/bad-element", func() (interface{}, error) { return Mappings("identity,hilbert") }, nil, "want identity, shuffle"},
+
+		{"shard/empty", func() (interface{}, error) { i, n, err := Shard(""); return [2]int{i, n}, err }, [2]int{0, 1}, ""},
+		{"shard/of-four", func() (interface{}, error) { i, n, err := Shard(" 2/4 "); return [2]int{i, n}, err }, [2]int{2, 4}, ""},
+		{"shard/no-slash", func() (interface{}, error) { _, _, err := Shard("3"); return nil, err }, nil, "want I/N"},
+		{"shard/out-of-range", func() (interface{}, error) { _, _, err := Shard("4/4"); return nil, err }, nil, "0 <= I < N"},
+		{"shard/negative", func() (interface{}, error) { _, _, err := Shard("-1/4"); return nil, err }, nil, "0 <= I < N"},
+		{"shard/zero-shards", func() (interface{}, error) { _, _, err := Shard("0/0"); return nil, err }, nil, "0 <= I < N"},
+
+		{"int64list/list", func() (interface{}, error) { v, err := Int64List("seeds", "1, 2,3"); return len(v), err }, 3, ""},
+		{"int64list/bad", func() (interface{}, error) { return Int64List("seeds", "1,two") }, nil, `"two" is not an integer`},
+
+		{"floatlist/list", func() (interface{}, error) { v, err := FloatList("msg-scales", "0.5,1,2"); return len(v), err }, 3, ""},
+		{"floatlist/bad", func() (interface{}, error) { return FloatList("msg-scales", "1,half") }, nil, `"half" is not a number`},
+
+		{"faultspecs/empty", func() (interface{}, error) { s, err := FaultSpecs("", 0); return len(s) == 1 && s[0] == nil, err }, true, ""},
+		{"faultspecs/none", func() (interface{}, error) { s, err := FaultSpecs("none", 0); return len(s) == 1 && s[0] == nil, err }, true, ""},
+		{"faultspecs/sweep", func() (interface{}, error) {
+			s, err := FaultSpecs("none;global=0.1;global=0.2,seed=3", 0)
+			return len(s) == 3 && s[0] == nil && s[1] != nil && s[2].Seed == 3, err
+		}, true, ""},
+		{"faultspecs/bad-element", func() (interface{}, error) { return FaultSpecs("global=0.1;cables=2", 0) }, nil, "clauses: global=FRAC"},
 	}
 	for _, tc := range tests {
 		tc := tc

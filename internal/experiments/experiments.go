@@ -30,6 +30,7 @@ import (
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
+	"dragonfly/internal/farm"
 	"dragonfly/internal/faults"
 	"dragonfly/internal/network"
 	"dragonfly/internal/topology"
@@ -104,6 +105,13 @@ type Options struct {
 	// are identical either way; the knob exists so the equivalence tests
 	// can prove it.
 	DisablePooling bool
+	// Farm, when non-nil, banks every simulation cell in the given
+	// content-addressed store and replays banked cells instead of
+	// re-simulating them. Results are bit-reproducible and records are
+	// integrity-checked on read, so reports are byte-identical whether a
+	// cell was simulated or recalled; a corrupt or missing entry silently
+	// degrades to a re-run. FarmStats reports the hit/miss split.
+	Farm *farm.Store
 }
 
 // Runner executes experiments, caching simulation results so that figures
@@ -116,6 +124,12 @@ type Runner struct {
 
 	mu    sync.Mutex // guards cache
 	cache map[string]*cacheEntry
+
+	traceMu sync.Mutex // guards traces
+	traces  map[string]*trace.Trace
+
+	statsMu   sync.Mutex // guards farmStats
+	farmStats farm.Stats
 
 	progressMu sync.Mutex // serializes Progress lines
 }
@@ -130,7 +144,25 @@ type cacheEntry struct {
 
 // NewRunner builds a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*cacheEntry)}
+	return &Runner{
+		opts:   opts,
+		cache:  make(map[string]*cacheEntry),
+		traces: make(map[string]*trace.Trace),
+	}
+}
+
+// FarmStats returns the accumulated farm cache statistics of every
+// simulation this runner has executed (zero when no farm is attached).
+func (r *Runner) FarmStats() farm.Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.farmStats
+}
+
+func (r *Runner) addFarmStats(s farm.Stats) {
+	r.statsMu.Lock()
+	r.farmStats.Add(s)
+	r.statsMu.Unlock()
 }
 
 // parallel returns the effective worker-pool bound.
@@ -355,8 +387,11 @@ func (r *Runner) progressf(format string, args ...interface{}) {
 
 // --- machine and application catalogs ---------------------------------------
 
-// machine returns the topology of the current scale.
-func (r *Runner) machine() topology.Machine {
+// Machine returns the machine the runner's experiments execute on: the
+// Options override when set, else the scale's default XC40 dragonfly.
+// Exported so cmd/dffarm can build sweep cells with the exact machine the
+// experiment vocabulary implies.
+func (r *Runner) Machine() topology.Machine {
 	if r.opts.Machine != nil {
 		return r.opts.Machine
 	}
@@ -382,14 +417,31 @@ func appNames() []string { return []string{"CR", "FB", "AMG"} }
 
 // machineNodes returns the compute-node count of the experiment machine.
 func (r *Runner) machineNodes() int {
-	return topology.BuildMachine(r.machine()).NumNodes()
+	return topology.BuildMachine(r.Machine()).NumNodes()
 }
 
-// appTrace generates the trace of an application at the current scale.
-// Generation is deterministic (fixed internal seeds), so every call yields an
-// identical trace; each simulation gets its own copy, which keeps runs free
-// to share nothing.
-func (r *Runner) appTrace(name string) (*trace.Trace, error) {
+// AppTrace returns the trace of one of the paper's applications ("CR",
+// "FB", "AMG") at the runner's scale. Generation is deterministic (fixed
+// internal seeds) and traces are read-only during simulation, so the runner
+// generates each one once and shares the pointer across cells — which also
+// lets the farm encoder's per-pointer content-digest memoization take
+// effect across an experiment's whole grid.
+func (r *Runner) AppTrace(name string) (*trace.Trace, error) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if tr, ok := r.traces[name]; ok {
+		return tr, nil
+	}
+	tr, err := r.generateTrace(name)
+	if err != nil {
+		return nil, err
+	}
+	r.traces[name] = tr
+	return tr, nil
+}
+
+// generateTrace builds an application trace at the current scale.
+func (r *Runner) generateTrace(name string) (*trace.Trace, error) {
 	paper := r.opts.Scale == ScalePaper
 	switch name {
 	case "CR":
@@ -416,6 +468,27 @@ func (r *Runner) appTrace(name string) (*trace.Trace, error) {
 		return trace.AMG(cfg)
 	}
 	return nil, fmt.Errorf("experiments: unknown application %q", name)
+}
+
+// Background returns the scale-appropriate interference configuration of
+// the given kind for a target application — the exact objects the paper's
+// Figs. 8-10 grids use. Exported so cmd/dffarm sweeps name backgrounds with
+// the same vocabulary ("uniform", "bursty") and get identical cells, which
+// is what lets a farm store populated by dffarm serve experiment reruns.
+func (r *Runner) Background(kind workload.BackgroundKind, app string) (*workload.BackgroundConfig, error) {
+	switch kind {
+	case workload.UniformRandom:
+		cfg := r.uniformBackground()
+		return &cfg, nil
+	case workload.Bursty:
+		tr, err := r.AppTrace(app)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.burstyBackground(app, r.machineNodes()-tr.NumRanks())
+		return &cfg, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown background kind %v", kind)
 }
 
 // uniformBackground returns the paper's uniform-random interference
@@ -483,40 +556,22 @@ func (rq simReq) key() string {
 	return fmt.Sprintf("%s|%s|%g|%v", rq.app, rq.cell.Name(), rq.msgScale, describeBG(rq.bg))
 }
 
-// resultFor runs (or recalls) one simulation cell. Safe for concurrent use:
-// the first caller for a key computes, later callers block on the same entry.
-func (r *Runner) resultFor(app string, cell core.Cell, msgScale float64, bg *workload.BackgroundConfig) (*core.Result, error) {
+// CellConfig builds the full run configuration of one simulation cell —
+// the object the canonical farm encoder hashes, and exactly what runCell
+// simulates when no banked result exists. Exported so cmd/dffarm constructs
+// cells identical (same content address) to the ones the experiments
+// produce; sweep axes the runner options don't span (per-cell seeds, fault
+// specs, task mappings) are overridden on the returned config, which is
+// equivalent to a runner constructed with those options.
+func (r *Runner) CellConfig(app string, cell core.Cell, msgScale float64, bg *workload.BackgroundConfig) (core.Config, error) {
 	rq := simReq{app: app, cell: cell, msgScale: msgScale, bg: bg}
-	key := rq.key()
-	r.mu.Lock()
-	if e, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		<-e.done
-		return e.res, e.err
-	}
-	e := &cacheEntry{done: make(chan struct{})}
-	r.cache[key] = e
-	r.mu.Unlock()
-
-	e.res, e.err = r.runCell(rq)
-	close(e.done)
-	return e.res, e.err
+	return r.cellConfig(rq)
 }
 
-// runCell executes one simulation cell, uncached. The panic firewall turns
-// a wedged cell into that cell's error: under the parallel executor a bare
-// panic would kill sibling workers mid-run and lose the whole figure.
-func (r *Runner) runCell(rq simReq) (res *core.Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res = nil
-			err = fmt.Errorf("experiments: %s under %s: panic: %v\n%s",
-				rq.app, rq.cell.Name(), p, debug.Stack())
-		}
-	}()
-	tr, err := r.appTrace(rq.app)
+func (r *Runner) cellConfig(rq simReq) (core.Config, error) {
+	tr, err := r.AppTrace(rq.app)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	params := network.DefaultParams()
 	if r.opts.DisablePooling {
@@ -524,7 +579,7 @@ func (r *Runner) runCell(rq simReq) (res *core.Result, err error) {
 		params.Route.NoCache = true
 	}
 	cfg := core.Config{
-		Topology:  r.machine(),
+		Topology:  r.Machine(),
 		Params:    params,
 		Placement: rq.cell.Placement,
 		Routing:   rq.cell.Routing,
@@ -544,9 +599,81 @@ func (r *Runner) runCell(rq simReq) (res *core.Result, err error) {
 		// Interference runs cannot drain the queue; bound them.
 		cfg.MaxSimTime = des.Second
 	}
+	return cfg, nil
+}
+
+// resultFor runs (or recalls) one simulation cell. Safe for concurrent use:
+// the first caller for a key computes, later callers block on the same entry.
+// The in-memory cache is keyed by the farm's canonical config encoding — the
+// same identity the on-disk store addresses by — so a cell means the same
+// thing in both caches; configs the encoder rejects (none of the paper's
+// grids produce one) fall back to the request descriptor and stay in-memory
+// only.
+func (r *Runner) resultFor(app string, cell core.Cell, msgScale float64, bg *workload.BackgroundConfig) (*core.Result, error) {
+	rq := simReq{app: app, cell: cell, msgScale: msgScale, bg: bg}
+	cfg, err := r.cellConfig(rq)
+	if err != nil {
+		return nil, err
+	}
+	key, encErr := farm.Encode(cfg)
+	if encErr != nil {
+		key = "uncacheable|" + rq.key()
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.runCell(rq, cfg, key, encErr == nil)
+	close(e.done)
+	return e.res, e.err
+}
+
+// runCell produces one simulation cell's result: replayed from the farm
+// store when one is attached and holds a verified entry, simulated (and
+// banked) otherwise. The panic firewall turns a wedged cell into that
+// cell's error: under the parallel executor a bare panic would kill sibling
+// workers mid-run and lose the whole figure.
+func (r *Runner) runCell(rq simReq, cfg core.Config, enc string, cacheable bool) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = fmt.Errorf("experiments: %s under %s: panic: %v\n%s",
+				rq.app, rq.cell.Name(), p, debug.Stack())
+		}
+	}()
+	cacheable = cacheable && r.opts.Farm != nil
+	var addr string
+	if cacheable {
+		addr = farm.AddressOf(enc)
+		if rec, err := r.opts.Farm.Get(addr); err == nil {
+			res := rec.Result(cfg)
+			if !res.Completed {
+				return nil, fmt.Errorf("experiments: %s under %s did not complete within %v", rq.app, rq.cell.Name(), cfg.MaxSimTime)
+			}
+			r.addFarmStats(farm.Stats{Cells: 1, InShard: 1, Hits: 1})
+			r.progressf("hit %-3s %-9s scale=%-5g bg=%-12s simtime=%v events=%d",
+				rq.app, rq.cell.Name(), orOne(rq.msgScale), describeBG(rq.bg), res.Duration, res.Events)
+			return res, nil
+		}
+		// ErrMiss, a corrupt entry, or an I/O failure all degrade to a
+		// fresh simulation; Put below heals the entry.
+	}
 	res, err = core.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %s: %w", rq.app, rq.cell.Name(), err)
+	}
+	if cacheable {
+		st := farm.Stats{Cells: 1, InShard: 1, Misses: 1}
+		if perr := r.opts.Farm.Put(addr, farm.RecordOf(res)); perr != nil {
+			st.WriteErrors = 1 // persistence is best-effort; the result stands
+		}
+		r.addFarmStats(st)
 	}
 	if !res.Completed {
 		return nil, fmt.Errorf("experiments: %s under %s did not complete within %v", rq.app, rq.cell.Name(), cfg.MaxSimTime)
@@ -554,6 +681,20 @@ func (r *Runner) runCell(rq simReq) (res *core.Result, err error) {
 	r.progressf("ran %-3s %-9s scale=%-5g bg=%-12s simtime=%v events=%d",
 		rq.app, rq.cell.Name(), orOne(rq.msgScale), describeBG(rq.bg), res.Duration, res.Events)
 	return res, nil
+}
+
+// runBatch executes a slice of fully built configurations — the batch-style
+// experiments (figr, figq, xmap) that don't go through resultFor — via the
+// farm when one is attached, falling back to the plain parallel executor.
+// Both paths keep RunBatch's contract: results in config order, first error
+// in config order, every cell attempted.
+func (r *Runner) runBatch(cfgs []core.Config) ([]*core.Result, error) {
+	if r.opts.Farm == nil {
+		return core.RunBatch(cfgs, r.parallel())
+	}
+	results, stats, err := farm.New(r.opts.Farm, farm.Options{Parallel: r.parallel()}).Run(cfgs)
+	r.addFarmStats(stats)
+	return results, err
 }
 
 // prefetch fans an experiment's simulation grid out across the worker pool,

@@ -34,14 +34,14 @@ func (r *Runner) XMap() (*Report, error) {
 		Title:   "AMG communication time and locality by task mapping",
 		Columns: []string{"mapping", "median_ms", "max_ms", "mean_hops"},
 	}
-	tr, err := r.appTrace("AMG")
+	tr, err := r.AppTrace("AMG")
 	if err != nil {
 		return nil, err
 	}
 	var cfgs []core.Config
 	for _, pol := range mapping.All() {
 		cfgs = append(cfgs, core.Config{
-			Topology:       r.machine(),
+			Topology:       r.Machine(),
 			Params:         network.DefaultParams(),
 			Placement:      placement.RandomRouter,
 			Routing:        routing.Adaptive,
@@ -52,7 +52,7 @@ func (r *Runner) XMap() (*Report, error) {
 			WatchdogEvents: defaultWatchdogEvents,
 		})
 	}
-	results, err := core.RunBatch(cfgs, r.parallel())
+	results, err := r.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func (r *Runner) XMulti() (*Report, error) {
 		ID:    "xmulti",
 		Title: "Multijob co-run interference (extension; cf. the authors' prior bully study)",
 	}
-	amg, err := r.appTrace("AMG")
+	amg, err := r.AppTrace("AMG")
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +90,7 @@ func (r *Runner) XMulti() (*Report, error) {
 
 	runCo := func(jobs []core.JobSpec) (*core.MultiResult, error) {
 		res, err := core.RunMulti(core.MultiConfig{
-			Topology: r.machine(),
+			Topology: r.Machine(),
 			Params:   network.DefaultParams(),
 			Routing:  routing.Adaptive,
 			Jobs:     jobs,

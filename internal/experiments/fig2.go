@@ -19,7 +19,7 @@ func (r *Runner) Figure2() (*Report, error) {
 		},
 	}
 	for _, app := range appNames() {
-		tr, err := r.appTrace(app)
+		tr, err := r.AppTrace(app)
 		if err != nil {
 			return nil, err
 		}

@@ -58,7 +58,7 @@ func (r *Runner) appInterference(id, app, title string) (*Report, error) {
 	rep.Plots = append(rep.Plots, *plotU)
 
 	machineNodes := r.machineNodes()
-	tr, err := r.appTrace(app)
+	tr, err := r.AppTrace(app)
 	if err != nil {
 		return nil, err
 	}

@@ -38,7 +38,7 @@ func (r *Runner) FigureQ() (*Report, error) {
 		},
 	}
 
-	tr, err := r.appTrace("CR")
+	tr, err := r.AppTrace("CR")
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func (r *Runner) FigureQ() (*Report, error) {
 	for _, p := range fracs {
 		for _, cell := range cells {
 			cfg := core.Config{
-				Topology:  r.machine(),
+				Topology:  r.Machine(),
 				Params:    network.DefaultParams(),
 				Placement: cell.Placement,
 				Routing:   cell.Routing,
@@ -62,7 +62,7 @@ func (r *Runner) FigureQ() (*Report, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := core.RunBatch(cfgs, r.parallel())
+	results, err := r.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}

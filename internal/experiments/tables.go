@@ -43,7 +43,7 @@ func (r *Runner) TableII() (*Report, error) {
 	machineNodes := r.machineNodes()
 	appRanks := map[string]int{}
 	for _, app := range appNames() {
-		tr, err := r.appTrace(app)
+		tr, err := r.AppTrace(app)
 		if err != nil {
 			return nil, err
 		}

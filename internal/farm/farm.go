@@ -1,0 +1,360 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"dragonfly/internal/core"
+)
+
+// Options configures a Farm run.
+type Options struct {
+	// Parallel bounds the in-process worker pool; <= 0 selects NumCPU.
+	Parallel int
+	// Shard/NumShards select a 1-of-N slice of the config set for
+	// multi-process sharding: this process executes exactly the cells
+	// whose index i satisfies i % NumShards == Shard, and leaves nil
+	// results at every other index. NumShards <= 1 runs everything.
+	// Shards partition the job, so concurrent shard processes over one
+	// store never simulate the same cell.
+	Shard     int
+	NumShards int
+	// Progress, when non-nil, receives one callback per finished cell
+	// (hit, simulated, or failed), serialized across workers.
+	Progress func(ev Progress)
+}
+
+// Progress describes one finished cell.
+type Progress struct {
+	Index   int // config index within the job
+	Total   int // cells this process executes (its shard)
+	Done    int // cells finished so far, this one included
+	Addr    string
+	Hit     bool          // replayed from the store
+	Elapsed time.Duration // wall time of this cell
+	Err     error
+}
+
+// Stats counts what a Run did. A warm rerun of a completed job shows
+// Misses == 0 and Hits == InShard: zero simulations.
+type Stats struct {
+	Cells       int // configs passed in
+	InShard     int // cells this process was responsible for
+	Hits        int // replayed from the store without simulating
+	Misses      int // simulated (no entry existed)
+	Corrupt     int // entries that failed verification and were re-run
+	Uncacheable int // simulated without touching the store (no canonical encoding)
+	Errors      int // cells whose simulation failed
+	WriteErrors int // results that simulated fine but failed to persist
+}
+
+// Add accumulates another run's counters, e.g. across the batches of one
+// sweep or the shards of one job.
+func (s *Stats) Add(o Stats) {
+	s.Cells += o.Cells
+	s.InShard += o.InShard
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Corrupt += o.Corrupt
+	s.Uncacheable += o.Uncacheable
+	s.Errors += o.Errors
+	s.WriteErrors += o.WriteErrors
+}
+
+// Farm executes config sets against a Store.
+type Farm struct {
+	store *Store
+	opts  Options
+
+	mu         sync.Mutex
+	inflight   map[string]*flight
+	done       int
+	progressMu sync.Mutex
+}
+
+// flight is the single-flight slot of one address: concurrent requests for
+// identical configs — duplicate cells of one job — simulate once and share
+// the stored record.
+type flight struct {
+	wait chan struct{}
+	rec  *Record
+	err  error
+}
+
+// New builds a Farm over store. The store must be non-nil: a farm without a
+// cache is core.RunBatch.
+func New(store *Store, opts Options) *Farm {
+	if store == nil {
+		panic("farm: New needs a store")
+	}
+	if opts.NumShards > 1 && (opts.Shard < 0 || opts.Shard >= opts.NumShards) {
+		panic(fmt.Sprintf("farm: shard %d out of range of %d shards", opts.Shard, opts.NumShards))
+	}
+	return &Farm{store: store, opts: opts, inflight: make(map[string]*flight)}
+}
+
+// inShard reports whether cell index i belongs to this process's shard.
+func (f *Farm) inShard(i int) bool {
+	if f.opts.NumShards <= 1 {
+		return true
+	}
+	return i%f.opts.NumShards == f.opts.Shard
+}
+
+// Run executes the config set: cache hits replay instantly, misses simulate
+// and persist, and everything outside this process's shard is skipped (nil
+// result). Results return in config order and the error is the first failed
+// cell in config order — the contract of core.RunBatch, so a farm-backed
+// sweep observes exactly what a direct one would. All cells are attempted
+// even after a failure.
+func (f *Farm) Run(cfgs []core.Config) ([]*core.Result, Stats, error) {
+	stats := Stats{Cells: len(cfgs)}
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	var mine []int
+	for i := range cfgs {
+		if f.inShard(i) {
+			mine = append(mine, i)
+		}
+	}
+	stats.InShard = len(mine)
+	f.mu.Lock()
+	f.done = 0
+	f.mu.Unlock()
+
+	workers := f.opts.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(mine) {
+		workers = len(mine)
+	}
+	var statsMu sync.Mutex
+	runOne := func(i int) {
+		start := time.Now()
+		res, addr, cell, err := f.runCell(cfgs[i])
+		results[i], errs[i] = res, err
+		statsMu.Lock()
+		stats.Hits += cell.Hits
+		stats.Misses += cell.Misses
+		stats.Corrupt += cell.Corrupt
+		stats.Uncacheable += cell.Uncacheable
+		stats.WriteErrors += cell.WriteErrors
+		stats.Errors += cell.Errors
+		statsMu.Unlock()
+		f.progress(i, len(mine), addr, cell.Hits > 0, time.Since(start), err)
+	}
+	if workers <= 1 {
+		for _, i := range mine {
+			runOne(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		for _, i := range mine {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return results, stats, err
+		}
+	}
+	return results, stats, nil
+}
+
+// runCell resolves one configuration: replay from the store, or simulate
+// (once per address, under single-flight) and persist. The returned address
+// is empty for uncacheable cells.
+func (f *Farm) runCell(cfg core.Config) (*core.Result, string, Stats, error) {
+	var cell Stats
+	enc, err := Encode(cfg)
+	if err != nil {
+		// No canonical identity: simulate without caching rather than
+		// refuse the cell.
+		cell.Uncacheable++
+		res, err := runSafe(cfg)
+		if err != nil {
+			cell.Errors++
+		}
+		return res, "", cell, err
+	}
+	addr := AddressOf(enc)
+
+	f.mu.Lock()
+	if fl, ok := f.inflight[addr]; ok {
+		f.mu.Unlock()
+		<-fl.wait
+		if fl.err != nil {
+			cell.Errors++
+			return nil, addr, cell, fl.err
+		}
+		cell.Hits++
+		return fl.rec.Result(cfg), addr, cell, nil
+	}
+	fl := &flight{wait: make(chan struct{})}
+	f.inflight[addr] = fl
+	f.mu.Unlock()
+	defer close(fl.wait)
+
+	rec, err := f.store.Get(addr)
+	switch {
+	case err == nil:
+		cell.Hits++
+		fl.rec = rec
+		return rec.Result(cfg), addr, cell, nil
+	case errors.Is(err, ErrCorrupt):
+		cell.Corrupt++ // fall through to a fresh run, which overwrites
+	case !errors.Is(err, ErrMiss):
+		// I/O errors (permissions, dead disk) degrade to a re-run too:
+		// the store is a cache, never a source of truth.
+		cell.Corrupt++
+	}
+
+	cell.Misses++
+	res, err := runSafe(cfg)
+	if err != nil {
+		cell.Errors++
+		fl.err = err
+		return nil, addr, cell, err
+	}
+	fl.rec = RecordOf(res)
+	if err := f.store.Put(addr, fl.rec); err != nil {
+		// A failed write loses only future cache hits, not this result.
+		cell.WriteErrors++
+	}
+	return res, addr, cell, nil
+}
+
+// runSafe is core.Run behind a panic firewall, mirroring core.RunBatch: one
+// wedged cell becomes that cell's error instead of killing sibling workers.
+func runSafe(cfg core.Config) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("farm: %s: panic: %v\n%s", cfg.Name(), r, debug.Stack())
+		}
+	}()
+	return core.Run(cfg)
+}
+
+func (f *Farm) progress(index, total int, addr string, hit bool, elapsed time.Duration, err error) {
+	if f.opts.Progress == nil {
+		return
+	}
+	f.progressMu.Lock()
+	defer f.progressMu.Unlock()
+	f.done++
+	f.opts.Progress(Progress{
+		Index: index, Total: total, Done: f.done, Addr: addr,
+		Hit: hit, Elapsed: elapsed, Err: err,
+	})
+}
+
+// --- job manifests ----------------------------------------------------------
+
+// Manifest records one job's identity and completion state under
+// <root>/jobs/<job>.json. The content-addressed entries are the real resume
+// state — a re-run skips every address that verifies — so the manifest is
+// bookkeeping: it lets a resuming process report how much of the job is
+// already banked before the first cell runs, and ties a human-readable spec
+// to the job hash.
+type Manifest struct {
+	Job   string `json:"job"`
+	Spec  string `json:"spec,omitempty"`
+	Cells int    `json:"cells"`
+	// Done is the number of cells with a verifiable entry when the
+	// manifest was last written.
+	Done int `json:"done"`
+}
+
+// JobID hashes the ordered address list of a job's cells: the job identity
+// for manifests. Shards of one job share a JobID because they share the
+// full config set.
+func JobID(addrs []string) string {
+	h := sha256.New()
+	for _, a := range addrs {
+		h.Write([]byte(a))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func (s *Store) manifestPath(job string) string {
+	return filepath.Join(s.root, "jobs", job+".json")
+}
+
+// LoadManifest reads a job manifest; ErrMiss if none exists.
+func (s *Store) LoadManifest(job string) (*Manifest, error) {
+	data, err := os.ReadFile(s.manifestPath(job))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrMiss
+		}
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("farm: manifest %s: %w", job, err)
+	}
+	return &m, nil
+}
+
+// SaveManifest writes a job manifest atomically.
+func (s *Store) SaveManifest(m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(s.manifestPath(m.Job))
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, s.manifestPath(m.Job))
+}
+
+// CountCached reports how many of the given addresses have verifiable
+// entries — the resume position of a job.
+func (s *Store) CountCached(addrs []string) int {
+	n := 0
+	for _, a := range addrs {
+		if s.Has(a) {
+			n++
+		}
+	}
+	return n
+}

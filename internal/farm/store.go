@@ -1,0 +1,199 @@
+package farm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Store is the on-disk content-addressed result cache. Entries live under
+// <root>/objects/<aa>/<address>, where <aa> is the first address byte —
+// one fan-out level keeps directories small at millions of entries. Each
+// entry is written atomically (temp file + rename in the same directory),
+// so readers never observe a torn write; a partially written temp file left
+// by a crash is invisible to Get and harmless.
+//
+// Entries are never trusted: Get verifies the magic header, codec name,
+// payload length, payload SHA-256, the embedded address, and the record's
+// codec version, and reports ErrCorrupt on any mismatch. Callers treat
+// corrupt exactly like missing — re-simulate and overwrite — so a flipped
+// bit or truncated file costs one re-run, never a wrong result.
+//
+// Concurrent writers of one address are benign by construction: the content
+// is a deterministic function of the address (same config, same simulator),
+// so whichever rename lands last installs identical bytes.
+type Store struct {
+	root string
+}
+
+// ErrMiss reports an address with no stored entry.
+var ErrMiss = errors.New("farm: cache miss")
+
+// ErrCorrupt reports an entry that exists but failed an integrity check.
+var ErrCorrupt = errors.New("farm: corrupt cache entry")
+
+// entryMagic is the first header token of every entry file; the version
+// suffix covers the container layout (header framing), while the JSON
+// payload carries its own codec version.
+const entryMagic = "DFFARM1"
+
+// entryCodec names the payload encoding. Only "json" exists today; the
+// field is parsed (and gated) so a future binary codec can coexist in one
+// store without ambiguity.
+const entryCodec = "json"
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("farm: empty store directory")
+	}
+	for _, sub := range []string{"objects", "jobs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("farm: open store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// entryPath maps an address to its object file.
+func (s *Store) entryPath(addr string) string {
+	return filepath.Join(s.root, "objects", addr[:2], addr)
+}
+
+// Get loads and verifies the entry at addr. It returns ErrMiss when no
+// entry exists and an error wrapping ErrCorrupt when one exists but fails
+// any integrity check.
+func (s *Store) Get(addr string) (*Record, error) {
+	if len(addr) < 3 {
+		return nil, fmt.Errorf("%w: malformed address %q", ErrCorrupt, addr)
+	}
+	data, err := os.ReadFile(s.entryPath(addr))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrMiss
+		}
+		return nil, fmt.Errorf("farm: read %s: %w", addr[:12], err)
+	}
+	payload, err := verifyEntry(addr, data)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("%w: %s: payload does not decode: %v", ErrCorrupt, addr[:12], err)
+	}
+	if rec.Version != codecVersion {
+		return nil, fmt.Errorf("%w: %s: codec version %d, want %d", ErrCorrupt, addr[:12], rec.Version, codecVersion)
+	}
+	return &rec, nil
+}
+
+// verifyEntry checks the container framing and returns the payload bytes.
+func verifyEntry(addr string, data []byte) ([]byte, error) {
+	corrupt := func(format string, args ...interface{}) error {
+		return fmt.Errorf("%w: %s: %s", ErrCorrupt, addr[:12], fmt.Sprintf(format, args...))
+	}
+	// Three header lines, then the payload:
+	//   DFFARM1 json
+	//   addr <64 hex>
+	//   payload <len> <sha256 hex>
+	rest := data
+	var lines [3]string
+	for i := range lines {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return nil, corrupt("truncated header")
+		}
+		lines[i] = string(rest[:nl])
+		rest = rest[nl+1:]
+	}
+	head := strings.Fields(lines[0])
+	if len(head) != 2 || head[0] != entryMagic {
+		return nil, corrupt("bad magic %q", lines[0])
+	}
+	if head[1] != entryCodec {
+		return nil, corrupt("unknown codec %q", head[1])
+	}
+	af := strings.Fields(lines[1])
+	if len(af) != 2 || af[0] != "addr" {
+		return nil, corrupt("bad address line %q", lines[1])
+	}
+	if af[1] != addr {
+		return nil, corrupt("entry holds address %s", af[1][:min(12, len(af[1]))])
+	}
+	pf := strings.Fields(lines[2])
+	if len(pf) != 3 || pf[0] != "payload" {
+		return nil, corrupt("bad payload line %q", lines[2])
+	}
+	n, err := strconv.Atoi(pf[1])
+	if err != nil || n < 0 {
+		return nil, corrupt("bad payload length %q", pf[1])
+	}
+	if len(rest) != n {
+		return nil, corrupt("payload is %d bytes, header says %d", len(rest), n)
+	}
+	sum := sha256.Sum256(rest)
+	if hex.EncodeToString(sum[:]) != pf[2] {
+		return nil, corrupt("payload digest mismatch")
+	}
+	return rest, nil
+}
+
+// Put stores rec at addr, atomically. An existing entry is replaced; since
+// entry content is a deterministic function of the address, replacement
+// only ever heals corruption.
+func (s *Store) Put(addr string, rec *Record) error {
+	if len(addr) < 3 {
+		return fmt.Errorf("farm: malformed address %q", addr)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("farm: encode %s: %w", addr[:12], err)
+	}
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(payload) + 160)
+	fmt.Fprintf(&b, "%s %s\naddr %s\npayload %d %s\n",
+		entryMagic, entryCodec, addr, len(payload), hex.EncodeToString(sum[:]))
+	b.Write(payload)
+
+	dir := filepath.Dir(s.entryPath(addr))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("farm: put %s: %w", addr[:12], err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("farm: put %s: %w", addr[:12], err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("farm: put %s: %w", addr[:12], err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("farm: put %s: %w", addr[:12], err)
+	}
+	if err := os.Rename(name, s.entryPath(addr)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("farm: put %s: %w", addr[:12], err)
+	}
+	return nil
+}
+
+// Has reports whether a verifiable entry exists at addr.
+func (s *Store) Has(addr string) bool {
+	_, err := s.Get(addr)
+	return err == nil
+}

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// perturbEveryField bumps each struct field of cfg (all shape fields are
+// ints) and returns the CanonicalSpec of every perturbed copy, keyed by
+// field name. Using reflection means a newly added shape field is
+// automatically perturbed — if CanonicalSpec does not render it, the test
+// fails, closing the "silent wrong-machine cache hit" hole.
+func perturbEveryField(t *testing.T, cfg interface{}, spec func(v reflect.Value) string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	typ := reflect.TypeOf(cfg)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Int {
+			t.Fatalf("field %s has kind %v; extend the perturbation helper", f.Name, f.Type.Kind())
+		}
+		v := reflect.New(typ).Elem()
+		v.Set(reflect.ValueOf(cfg))
+		v.Field(i).SetInt(v.Field(i).Int() + 1)
+		out[f.Name] = spec(v)
+	}
+	return out
+}
+
+func TestCanonicalSpecCoversEveryDragonflyField(t *testing.T) {
+	base := Theta()
+	baseSpec := base.CanonicalSpec()
+	specs := perturbEveryField(t, base, func(v reflect.Value) string {
+		return v.Interface().(Config).CanonicalSpec()
+	})
+	seen := map[string]string{baseSpec: "base"}
+	for field, s := range specs {
+		if s == baseSpec {
+			t.Errorf("Config.%s does not perturb CanonicalSpec (%q)", field, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("Config.%s and %s collide on CanonicalSpec %q", field, prev, s)
+		}
+		seen[s] = field
+	}
+}
+
+func TestCanonicalSpecCoversEveryPlusField(t *testing.T) {
+	base := Plus()
+	baseSpec := base.CanonicalSpec()
+	specs := perturbEveryField(t, base, func(v reflect.Value) string {
+		return v.Interface().(PlusConfig).CanonicalSpec()
+	})
+	seen := map[string]string{baseSpec: "base"}
+	for field, s := range specs {
+		if s == baseSpec {
+			t.Errorf("PlusConfig.%s does not perturb CanonicalSpec (%q)", field, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("PlusConfig.%s and %s collide on CanonicalSpec %q", field, prev, s)
+		}
+		seen[s] = field
+	}
+}
+
+func TestCanonicalSpecDistinguishesFamilies(t *testing.T) {
+	if Theta().CanonicalSpec() == Plus().CanonicalSpec() {
+		t.Fatal("dragonfly and dragonfly+ specs collide")
+	}
+	if Mini().CanonicalSpec() == Theta().CanonicalSpec() {
+		t.Fatal("mini and theta specs collide")
+	}
+}

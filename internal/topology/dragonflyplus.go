@@ -93,6 +93,14 @@ func (c PlusConfig) Label() string {
 	return fmt.Sprintf("dragonfly+:g%d-l%d-s%d-n%d", c.Groups, c.Leaves, c.Spines, c.NodesPerLeaf)
 }
 
+// CanonicalSpec renders every shape field into one deterministic string —
+// the machine's identity for content-addressed result caching (see
+// Config.CanonicalSpec).
+func (c PlusConfig) CanonicalSpec() string {
+	return fmt.Sprintf("dragonfly+{groups=%d,leaves=%d,spines=%d,nodes_per_leaf=%d,global_ports_per_spine=%d,leaves_per_chassis=%d,chassis_per_cabinet=%d}",
+		c.Groups, c.Leaves, c.Spines, c.NodesPerLeaf, c.GlobalPortsPerSpine, c.LeavesPerChassis, c.ChassisPerCabinet)
+}
+
 // DragonflyPlus is an immutable, fully wired Dragonfly+ machine. Routers are
 // numbered group-major; within a group the leaves come first (0..Leaves-1),
 // then the spines. Nodes attach to leaves only, numbered consecutively per

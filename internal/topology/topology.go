@@ -161,6 +161,17 @@ func (c Config) Label() string {
 	return fmt.Sprintf("dragonfly:g%d-r%dx%d-n%d", c.Groups, c.Rows, c.Cols, c.NodesPerRouter)
 }
 
+// CanonicalSpec renders every shape field into one deterministic string —
+// the machine's identity for content-addressed result caching. Unlike Label
+// (a human-facing summary that omits wiring details), two configs share a
+// CanonicalSpec if and only if they build identical machines, so a cache
+// keyed on it can never conflate differently wired fabrics. The
+// farm-side coverage test fails if Config grows a field this misses.
+func (c Config) CanonicalSpec() string {
+	return fmt.Sprintf("dragonfly{groups=%d,rows=%d,cols=%d,nodes_per_router=%d,global_ports_per_router=%d,chassis_per_cabinet=%d}",
+		c.Groups, c.Rows, c.Cols, c.NodesPerRouter, c.GlobalPortsPerRouter, c.ChassisPerCabinet)
+}
+
 // Config returns the machine's configuration.
 func (t *Dragonfly) Config() Config { return t.cfg }
 

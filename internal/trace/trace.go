@@ -88,6 +88,42 @@ func (t *Trace) NumPhases() int {
 	return max
 }
 
+// Digest returns a 64-bit FNV-1a content digest of the trace: the app name,
+// the rank count, and every rank's ordered op list (kind, peer, bytes, tag).
+// Two traces share a digest exactly when they replay identically, which is
+// what lets a content-addressed result cache identify an application by its
+// communication record instead of by name — a regenerated trace with the
+// same label but different ops can never alias a cached result.
+func (t *Trace) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	w8 := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	w64 := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			w8(byte(v >> i))
+		}
+	}
+	for i := 0; i < len(t.App); i++ {
+		w8(t.App[i])
+	}
+	w64(uint64(len(t.Ranks)))
+	for _, ops := range t.Ranks {
+		w64(uint64(len(ops)))
+		for _, op := range ops {
+			w8(byte(op.Kind))
+			w64(uint64(uint32(op.Peer)))
+			w64(uint64(op.Bytes))
+			w64(uint64(uint32(op.Tag)))
+		}
+	}
+	return h
+}
+
 // pairKey identifies a directed transfer for matching validation.
 type pairKey struct {
 	src, dst int32
