@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke farm-smoke
+.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke farm-smoke collectives-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPolicy -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
+	$(GO) test -fuzz=FuzzGraph -fuzztime=10s ./internal/trace
 
 # Refresh the in-repo performance snapshot (engine/fabric/routing
 # microbenches + artifact regeneration benches, plus the -scale suite's
@@ -56,6 +57,16 @@ farm-smoke: build
 	grep -q "8 hits, 0 simulated" $(FARM_SMOKE)/warm.log
 	cmp $(FARM_SMOKE)/cold.csv $(FARM_SMOKE)/warm.csv
 	@echo "farm-smoke: warm rerun replayed all 8 cells from the store; corpora byte-identical"
+
+# Collective-workload smoke: the graph-executor determinism suite (ring
+# all-reduce and MoE all-to-all on both the Dragonfly and Dragonfly+ mini
+# machines — reruns, the auditor, disabled pooling, and 1/2/4 RunBatch
+# workers must all reproduce bit-identical digests), then the figa
+# placement-vs-routing sweep of all six graph generators checked against
+# its committed golden report.
+collectives-smoke: build
+	$(GO) test ./internal/topotest -run 'TestCollective' -count=1
+	$(GO) test ./internal/experiments -run 'TestGoldenReports/figa|TestFarmBackedGoldenFigA' -count=1
 
 # Big-machine shakeout: wire ~20k-router Dragonfly and Dragonfly+ machines,
 # route 1k validated sampled pairs each, and drive an audited traffic burst

@@ -87,7 +87,7 @@ func main() {
 	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{"./internal/des", "./internal/network", "./internal/routing", "./internal/farm", "."}
+		pkgs = []string{"./internal/des", "./internal/network", "./internal/routing", "./internal/farm", "./internal/workload", "."}
 	}
 	if (*cpuProf != "" || *memProf != "") && len(pkgs) != 1 {
 		cliutil.Usagef("dfbench", "-cpuprofile/-memprofile need exactly one package (go test writes one profile per binary); got %d", len(pkgs))

@@ -37,7 +37,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "farm store directory (required; created if absent)")
 		scale    = flag.String("scale", "quick", "experiment scale: quick or paper")
 		topoName = flag.String("topo", "", "machine preset override: theta, mini, dfplus, or dfplus-mini (default: the scale's XC40 machine)")
-		apps     = flag.String("apps", "CR", "comma-separated applications: CR, FB, AMG")
+		apps     = flag.String("apps", "CR", "comma-separated applications: CR, FB, AMG (flat miniapps), RING, TREE, MOE, HALO2D, HALO3D, CKPT (graph generators)")
 		placeStr = flag.String("placements", "cont,rand", "comma-separated placement policies: cont, cab, chas, rotr, rand")
 		routeStr = flag.String("routings", "min,adp", "comma-separated routing policies: min, adp, qadaptive")
 		mapStr   = flag.String("mappings", "identity", "comma-separated task mappings: identity, shuffle, router-packed, group-packed")
@@ -115,7 +115,10 @@ func main() {
 		}
 		bgKinds = append(bgKinds, strings.TrimSpace(s))
 	}
-	appNames := strings.Split(*apps, ",")
+	appNames, err := cliutil.Apps(*apps)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
 
 	// The runner builds each cell's configuration exactly as the experiment
 	// harness would (same machine, params, watchdog, interference volumes),
@@ -126,10 +129,6 @@ func main() {
 	runner := dragonfly.NewRunner(opts)
 	var cfgs []dragonfly.Config
 	for _, app := range appNames {
-		app = strings.TrimSpace(app)
-		if _, err := runner.AppTrace(app); err != nil {
-			cliutil.Usagef("dffarm", "%v (want CR, FB, or AMG)", err)
-		}
 		for _, bgName := range bgKinds {
 			kind, on, _ := cliutil.Background(bgName)
 			var bg *dragonfly.BackgroundConfig

@@ -1,6 +1,9 @@
-// Command dftrace generates, inspects, and converts application
-// communication traces — the synthetic stand-ins for the paper's DUMPI
-// traces of the CR, FB, and AMG miniapps.
+// Command dftrace generates, inspects, and converts application workloads:
+// the flat communication traces standing in for the paper's DUMPI traces of
+// the CR, FB, and AMG miniapps, and the dependency-graph collective/storage
+// workloads (RING, TREE, MOE, HALO2D, HALO3D, CKPT). Summaries are
+// graph-aware for both: a flat trace's digest includes its lowered
+// dependency graph (node/edge counts, critical-path bytes, max fan-out).
 //
 // Examples:
 //
@@ -8,6 +11,8 @@
 //	dftrace -app FB -out fb.trace
 //	dftrace -in fb.trace -summary
 //	dftrace -app AMG -matrix 12
+//	dftrace -app RING -summary
+//	dftrace -app MOE -out moe.graph && dftrace -graph-in moe.graph -matrix 8
 package main
 
 import (
@@ -22,12 +27,13 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "", "generate a trace: CR, FB, or AMG (paper sizes)")
+		app     = flag.String("app", "", "generate a workload: CR, FB, AMG (flat traces), or RING, TREE, MOE, HALO2D, HALO3D, CKPT (dependency graphs; default sizes)")
 		in      = flag.String("in", "", "read a binary trace file instead of generating")
 		textIn  = flag.String("text-in", "", "read a text-format (DUMPI-flavored) trace file")
-		out     = flag.String("out", "", "write the trace to this file (binary format)")
-		textOut = flag.String("text-out", "", "write the trace to this file (text format)")
-		summary = flag.Bool("summary", false, "print the JSON digest (ranks, phases, loads)")
+		graphIn = flag.String("graph-in", "", "read a binary dependency-graph file instead of generating")
+		out     = flag.String("out", "", "write the workload to this file (binary format; graph apps write graph files)")
+		textOut = flag.String("text-out", "", "write the trace to this file (text format; flat traces only)")
+		summary = flag.Bool("summary", false, "print the JSON digest (flat traces include their lowered graph's stats)")
 		matrix  = flag.Int("matrix", 0, "print the communication matrix binned to NxN (MB per bin)")
 	)
 	flag.Parse()
@@ -36,24 +42,31 @@ func main() {
 		cliutil.Usagef("dftrace", "matrix=%d: want a non-negative bin count", *matrix)
 	}
 	var tr *dragonfly.Trace
+	var gr *dragonfly.Graph
 	var err error
 	switch {
 	case *in != "":
 		tr, err = trace.ReadFile(*in)
 	case *textIn != "":
 		tr, err = readText(*textIn)
+	case *graphIn != "":
+		gr, err = trace.ReadGraphFile(*graphIn)
 	case *app != "":
-		tr, err = generate(*app)
+		tr, gr, err = generate(*app)
 		if err != nil {
 			cliutil.Usagef("dftrace", "%v", err)
 		}
 	default:
-		cliutil.Usagef("dftrace", "specify -app to generate, or -in/-text-in to read a trace")
+		cliutil.Usagef("dftrace", "specify -app to generate, or -in/-text-in/-graph-in to read a workload")
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 
+	if gr != nil {
+		runGraph(gr, *out, *textOut, *summary, *matrix)
+		return
+	}
 	if *out != "" {
 		if err := trace.WriteFile(*out, tr); err != nil {
 			fatalf("write %s: %v", *out, err)
@@ -72,24 +85,57 @@ func main() {
 		}
 	}
 	if *matrix > 0 {
-		printMatrix(tr, *matrix)
+		printMatrix(tr.Matrix(*matrix))
 	}
 }
 
-func generate(app string) (*dragonfly.Trace, error) {
-	switch app {
-	case "CR", "cr":
-		return dragonfly.CRTrace(dragonfly.DefaultCR())
-	case "FB", "fb":
-		return dragonfly.FBTrace(dragonfly.DefaultFB())
-	case "AMG", "amg":
-		return dragonfly.AMGTrace(dragonfly.DefaultAMG())
+// runGraph handles the dependency-graph output modes.
+func runGraph(g *dragonfly.Graph, out, textOut string, summary bool, matrix int) {
+	if textOut != "" {
+		fatalf("-text-out applies to flat traces only (graphs have no DUMPI text form)")
 	}
-	return nil, fmt.Errorf("unknown application %q (want CR, FB, or AMG)", app)
+	if out != "" {
+		if err := trace.WriteGraphFile(out, g); err != nil {
+			fatalf("write %s: %v", out, err)
+		}
+		fmt.Fprintf(os.Stderr, "dftrace: wrote %s (%d ranks, %d graph nodes)\n", out, g.NumRanks(), g.NumNodes())
+	}
+	if summary || (out == "" && matrix == 0) {
+		if err := trace.WriteGraphSummaryJSON(os.Stdout, g); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if matrix > 0 {
+		printMatrix(g.Matrix(matrix))
+	}
 }
 
-func printMatrix(tr *dragonfly.Trace, bins int) {
-	m := tr.Matrix(bins)
+// generate builds the named application at its default size: flat miniapps
+// return a trace, graph generators a dependency graph.
+func generate(app string) (*dragonfly.Trace, *dragonfly.Graph, error) {
+	name, err := dragonfly.ParseApp(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dragonfly.IsGraphApp(name) {
+		g, err := dragonfly.DefaultGraphApp(name)
+		return nil, g, err
+	}
+	var tr *dragonfly.Trace
+	switch name {
+	case "CR":
+		tr, err = dragonfly.CRTrace(dragonfly.DefaultCR())
+	case "FB":
+		tr, err = dragonfly.FBTrace(dragonfly.DefaultFB())
+	case "AMG":
+		tr, err = dragonfly.AMGTrace(dragonfly.DefaultAMG())
+	default:
+		err = fmt.Errorf("unknown application %q", name)
+	}
+	return tr, nil, err
+}
+
+func printMatrix(m [][]float64) {
 	const MB = 1024 * 1024
 	fmt.Printf("communication matrix (%dx%d bins, MB per bin)\n", len(m), len(m))
 	for _, row := range m {

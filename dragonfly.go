@@ -196,6 +196,51 @@ func CRTrace(cfg CRConfig) (*Trace, error)   { return trace.CR(cfg) }
 func FBTrace(cfg FBConfig) (*Trace, error)   { return trace.FB(cfg) }
 func AMGTrace(cfg AMGConfig) (*Trace, error) { return trace.AMG(cfg) }
 
+// Dependency-graph workload IR (extension beyond the paper, GOAL-like): the
+// canonical representation the replay executor runs. Flat traces lower into
+// it via Trace.Graph; the collective/storage generators emit it directly.
+type (
+	// Graph is a per-rank dependency DAG of compute/send/recv nodes.
+	Graph = trace.Graph
+	// GraphNode is one node of a workload graph.
+	GraphNode = trace.GraphNode
+	// RingAllReduceConfig parameterizes the ring all-reduce generator.
+	RingAllReduceConfig = trace.RingAllReduceConfig
+	// TreeAllReduceConfig parameterizes the binomial-tree all-reduce generator.
+	TreeAllReduceConfig = trace.TreeAllReduceConfig
+	// MoEAllToAllConfig parameterizes the windowed all-to-all generator.
+	MoEAllToAllConfig = trace.MoEAllToAllConfig
+	// HaloConfig parameterizes the 2D/3D halo-exchange generator.
+	HaloConfig = trace.HaloConfig
+	// CheckpointConfig parameterizes the bursty checkpoint/storage generator.
+	CheckpointConfig = trace.CheckpointConfig
+)
+
+// Graph workload generators.
+func RingAllReduceGraph(cfg RingAllReduceConfig) (*Graph, error) { return trace.RingAllReduce(cfg) }
+func TreeAllReduceGraph(cfg TreeAllReduceConfig) (*Graph, error) { return trace.TreeAllReduce(cfg) }
+func MoEAllToAllGraph(cfg MoEAllToAllConfig) (*Graph, error)     { return trace.MoEAllToAll(cfg) }
+func HaloGraph(cfg HaloConfig) (*Graph, error)                   { return trace.Halo(cfg) }
+func CheckpointGraph(cfg CheckpointConfig) (*Graph, error)       { return trace.Checkpoint(cfg) }
+
+// DefaultGraphApp builds a graph application at its default size by registry
+// name ("RING", "TREE", "MOE", "HALO2D", "HALO3D", "CKPT").
+func DefaultGraphApp(name string) (*Graph, error) { return trace.DefaultGraph(name) }
+
+// AppNames lists every built-in application — flat miniapps then graph
+// generators — the single registry behind every CLI's -app grammar.
+func AppNames() []string { return trace.Apps() }
+
+// GraphAppNames lists the graph-generator applications.
+func GraphAppNames() []string { return trace.GraphApps() }
+
+// IsGraphApp reports whether name names a graph generator.
+func IsGraphApp(name string) bool { return trace.IsGraphApp(name) }
+
+// ParseApp canonicalizes an application name case-insensitively against the
+// registry.
+func ParseApp(s string) (string, error) { return trace.ParseApp(s) }
+
 // Background traffic (Sec. IV-C).
 type (
 	// BackgroundConfig parameterizes a synthetic interference job.

@@ -19,6 +19,7 @@ import (
 	"dragonfly/internal/placement"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
 	"dragonfly/internal/workload"
 )
 
@@ -44,6 +45,30 @@ func Machine(topo, machine, fallback string) (topology.Machine, error) {
 		return nil, fmt.Errorf("machine %q: want %s", name, strings.Join(topology.PresetNames(), ", "))
 	}
 	return m, nil
+}
+
+// App parses one application name against the single built-in registry —
+// the paper's flat miniapps plus the dependency-graph generators — so every
+// command's -app grammar (and its unknown-app error) shows one app set.
+func App(s string) (string, error) {
+	name, err := trace.ParseApp(s)
+	if err != nil {
+		return "", fmt.Errorf("app %q: want %s", strings.TrimSpace(s), strings.Join(trace.Apps(), ", "))
+	}
+	return name, nil
+}
+
+// Apps parses a comma-separated application sweep list.
+func Apps(csv string) ([]string, error) {
+	var names []string
+	for _, s := range strings.Split(csv, ",") {
+		n, err := App(s)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	return names, nil
 }
 
 // Placement parses one placement policy name.

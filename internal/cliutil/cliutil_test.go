@@ -26,6 +26,14 @@ func TestParsers(t *testing.T) {
 		{"machine/fallback", func() (interface{}, error) { m, err := Machine("", "", "dfplus-mini"); return label(m), err }, "dragonfly+:g5-l8-s4-n4", ""},
 		{"machine/unknown", func() (interface{}, error) { m, err := Machine("summit", "", "theta"); return label(m), err }, nil, "want dfplus, dfplus-mini, mini, theta"},
 
+		{"app/flat", func() (interface{}, error) { return App("CR") }, "CR", ""},
+		{"app/lowercase", func() (interface{}, error) { return App(" amg ") }, "AMG", ""},
+		{"app/graph", func() (interface{}, error) { return App("ring") }, "RING", ""},
+		{"app/unknown", func() (interface{}, error) { return App("LINPACK") }, nil, "want CR, FB, AMG, RING, TREE, MOE, HALO2D, HALO3D, CKPT"},
+		{"apps/list", func() (interface{}, error) { a, err := Apps("CR, ring ,ckpt"); return len(a), err }, 3, ""},
+		{"apps/bad-element", func() (interface{}, error) { return Apps("CR,LINPACK") }, nil, "want CR, FB, AMG, RING, TREE, MOE, HALO2D, HALO3D, CKPT"},
+		{"apps/empty", func() (interface{}, error) { return Apps("") }, nil, "want CR, FB, AMG"},
+
 		{"placement/one", func() (interface{}, error) { return Placement(" rand ") }, placement.RandomNode, ""},
 		{"placement/unknown", func() (interface{}, error) { return Placement("spiral") }, nil, "want cont, cab, chas, rotr, or rand"},
 		{"placements/list", func() (interface{}, error) { p, err := Placements("cont, rand"); return len(p), err }, 2, ""},

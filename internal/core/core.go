@@ -33,8 +33,13 @@ type Config struct {
 	// task-mapping future work (Sec. VI).
 	Mapping mapping.Policy
 
-	// Trace is the application to replay.
+	// Trace is the application to replay, as a flat op list; the replay
+	// engine lowers it into the dependency-graph IR on the way in.
 	Trace *trace.Trace
+	// Graph is the application in dependency-graph IR (collective and
+	// storage generators emit these directly). When set it takes precedence
+	// over Trace.
+	Graph *trace.Graph
 	// MsgScale multiplies every message size (sensitivity study); 0 = 1.
 	MsgScale float64
 
@@ -79,6 +84,29 @@ type Config struct {
 // e.g. "cont-min" (Table I).
 func (c Config) Name() string {
 	return fmt.Sprintf("%s-%s", c.Placement, c.Routing)
+}
+
+// WorkloadApp returns the application name of the configured workload —
+// Graph when set, Trace otherwise, "" when neither is configured.
+func (c Config) WorkloadApp() string {
+	if c.Graph != nil {
+		return c.Graph.App
+	}
+	if c.Trace != nil {
+		return c.Trace.App
+	}
+	return ""
+}
+
+// WorkloadRanks returns the rank count of the configured workload.
+func (c Config) WorkloadRanks() int {
+	if c.Graph != nil {
+		return c.Graph.NumRanks()
+	}
+	if c.Trace != nil {
+		return c.Trace.NumRanks()
+	}
+	return 0
 }
 
 // Result is the measured outcome of one run.
@@ -163,8 +191,8 @@ func (r *Result) filter(restrict bool) map[topology.RouterID]bool {
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Trace == nil {
-		return nil, fmt.Errorf("core: config has no trace")
+	if cfg.Trace == nil && cfg.Graph == nil {
+		return nil, fmt.Errorf("core: config has no workload (set Trace or Graph)")
 	}
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("core: config has no machine (set Topology)")
@@ -208,7 +236,7 @@ func Run(cfg Config) (*Result, error) {
 		eng.SetObserver(aud.EventExecuted)
 	}
 
-	nodes, err := placement.Allocate(topo, cfg.Placement, cfg.Trace.NumRanks(), root.Stream("placement"))
+	nodes, err := placement.Allocate(topo, cfg.Placement, cfg.WorkloadRanks(), root.Stream("placement"))
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +245,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rep, err := workload.NewReplay(fab, workload.Job{
-		Name:     cfg.Trace.App,
+		Name:     cfg.WorkloadApp(),
+		Graph:    cfg.Graph,
 		Trace:    cfg.Trace,
 		Nodes:    nodes,
 		MsgScale: cfg.MsgScale,

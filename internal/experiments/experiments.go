@@ -125,8 +125,9 @@ type Runner struct {
 	mu    sync.Mutex // guards cache
 	cache map[string]*cacheEntry
 
-	traceMu sync.Mutex // guards traces
+	traceMu sync.Mutex // guards traces and graphs
 	traces  map[string]*trace.Trace
+	graphs  map[string]*trace.Graph
 
 	statsMu   sync.Mutex // guards farmStats
 	farmStats farm.Stats
@@ -148,6 +149,7 @@ func NewRunner(opts Options) *Runner {
 		opts:   opts,
 		cache:  make(map[string]*cacheEntry),
 		traces: make(map[string]*trace.Trace),
+		graphs: make(map[string]*trace.Graph),
 	}
 }
 
@@ -211,6 +213,8 @@ func (r *Runner) Run(id string) (*Report, error) {
 		return r.FigureR()
 	case "figq":
 		return r.FigureQ()
+	case "figa":
+		return r.FigureA()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %s; extensions: %s)",
 			id, strings.Join(IDs(), ", "), strings.Join(ExtensionIDs(), ", "))
@@ -440,6 +444,53 @@ func (r *Runner) AppTrace(name string) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// AppGraph returns the dependency graph of one of the collective/storage
+// generator applications ("RING", "TREE", "MOE", "HALO2D", "HALO3D",
+// "CKPT") at the runner's scale. Like AppTrace, generation is deterministic
+// and graphs are read-only during simulation, so one pointer is shared
+// across cells and the farm encoder's per-pointer digest memoization holds
+// across an experiment's whole grid.
+func (r *Runner) AppGraph(name string) (*trace.Graph, error) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if g, ok := r.graphs[name]; ok {
+		return g, nil
+	}
+	g, err := r.generateGraph(name)
+	if err != nil {
+		return nil, err
+	}
+	r.graphs[name] = g
+	return g, nil
+}
+
+// generateGraph builds a collective/storage workload graph at the current
+// scale. Paper scale uses the generators' defaults; quick scale shrinks
+// ranks and payloads so every graph fits the 160-node quick machines and
+// runs in milliseconds of simulated time.
+func (r *Runner) generateGraph(name string) (*trace.Graph, error) {
+	if r.opts.Scale == ScalePaper {
+		return trace.DefaultGraph(name)
+	}
+	switch name {
+	case "RING":
+		return trace.RingAllReduce(trace.RingAllReduceConfig{Ranks: 64, Bytes: 512 * trace.KB, Rounds: 1})
+	case "TREE":
+		return trace.TreeAllReduce(trace.TreeAllReduceConfig{Ranks: 64, Bytes: 96 * trace.KB, Rounds: 2})
+	case "MOE":
+		return trace.MoEAllToAll(trace.MoEAllToAllConfig{Ranks: 48, Bytes: 48 * trace.KB, Rounds: 1, Window: 8})
+	case "HALO2D":
+		return trace.Halo(trace.HaloConfig{X: 8, Y: 8, Bytes: 64 * trace.KB, Rounds: 2})
+	case "HALO3D":
+		return trace.Halo(trace.HaloConfig{X: 4, Y: 4, Z: 4, Bytes: 32 * trace.KB, Rounds: 2})
+	case "CKPT":
+		return trace.Checkpoint(trace.CheckpointConfig{
+			Clients: 56, Servers: 8, Bytes: 1024 * trace.KB, Rounds: 1, Delay: 20 * des.Microsecond,
+		})
+	}
+	return nil, fmt.Errorf("experiments: unknown graph application %q", name)
+}
+
 // generateTrace builds an application trace at the current scale.
 func (r *Runner) generateTrace(name string) (*trace.Trace, error) {
 	paper := r.opts.Scale == ScalePaper
@@ -481,14 +532,31 @@ func (r *Runner) Background(kind workload.BackgroundKind, app string) (*workload
 		cfg := r.uniformBackground()
 		return &cfg, nil
 	case workload.Bursty:
-		tr, err := r.AppTrace(app)
+		ranks, err := r.appRanks(app)
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.burstyBackground(app, r.machineNodes()-tr.NumRanks())
+		cfg := r.burstyBackground(app, r.machineNodes()-ranks)
 		return &cfg, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown background kind %v", kind)
+}
+
+// appRanks returns the rank count of any built-in application, flat or
+// graph, at the runner's scale.
+func (r *Runner) appRanks(name string) (int, error) {
+	if trace.IsGraphApp(name) {
+		g, err := r.AppGraph(name)
+		if err != nil {
+			return 0, err
+		}
+		return g.NumRanks(), nil
+	}
+	tr, err := r.AppTrace(name)
+	if err != nil {
+		return 0, err
+	}
+	return tr.NumRanks(), nil
 }
 
 // uniformBackground returns the paper's uniform-random interference
@@ -569,10 +637,6 @@ func (r *Runner) CellConfig(app string, cell core.Cell, msgScale float64, bg *wo
 }
 
 func (r *Runner) cellConfig(rq simReq) (core.Config, error) {
-	tr, err := r.AppTrace(rq.app)
-	if err != nil {
-		return core.Config{}, err
-	}
 	params := network.DefaultParams()
 	if r.opts.DisablePooling {
 		params.NoPacketPool = true
@@ -583,7 +647,6 @@ func (r *Runner) cellConfig(rq simReq) (core.Config, error) {
 		Params:    params,
 		Placement: rq.cell.Placement,
 		Routing:   rq.cell.Routing,
-		Trace:     tr,
 		MsgScale:  rq.msgScale,
 		Seed:      r.opts.Seed,
 		Audit:     r.opts.Audit,
@@ -592,6 +655,22 @@ func (r *Runner) cellConfig(rq simReq) (core.Config, error) {
 		// fabric, a flow-control bug) fails with a queue diagnostic instead
 		// of hanging the sweep. The budget is far beyond any legitimate run.
 		WatchdogEvents: defaultWatchdogEvents,
+	}
+	// Graph-generator applications carry their workload as a dependency
+	// graph; the paper's miniapps stay flat traces (lowered on replay), so
+	// every pre-graph-IR farm address remains reachable.
+	if trace.IsGraphApp(rq.app) {
+		g, err := r.AppGraph(rq.app)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Graph = g
+	} else {
+		tr, err := r.AppTrace(rq.app)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Trace = tr
 	}
 	if rq.bg != nil {
 		b := *rq.bg

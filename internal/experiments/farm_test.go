@@ -71,6 +71,40 @@ func TestFarmBackedGoldenFigQ(t *testing.T) {
 	}
 }
 
+// TestFarmBackedGoldenFigA proves the collective-workload sweep runs warm
+// through the farm: graph-carrying configs must be cacheable (the encoder's
+// graph.* lines), bank on the cold pass, and replay every cell on the warm
+// pass while staying byte-identical to the committed golden.
+func TestFarmBackedGoldenFigA(t *testing.T) {
+	if updateGolden() {
+		t.Skip("golden refresh in progress")
+	}
+	store, err := farm.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldStats := renderFarmed(t, "figa", store)
+	if coldStats.Misses == 0 {
+		t.Fatal("cold figa simulated nothing; the store cannot have been empty")
+	}
+	if coldStats.Uncacheable != 0 {
+		t.Fatalf("cold figa left %d graph cells uncacheable", coldStats.Uncacheable)
+	}
+	warm, warmStats := renderFarmed(t, "figa", store)
+	if warmStats.Misses != 0 {
+		t.Fatalf("warm figa simulated %d cells, want 0", warmStats.Misses)
+	}
+	if warmStats.Hits != coldStats.Misses {
+		t.Fatalf("warm figa hit %d cells; cold banked %d", warmStats.Hits, coldStats.Misses)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cold and warm figa reports differ")
+	}
+	if err := compareWithGolden(filepath.Join(goldenDir(t), "figa.txt"), cold); err != nil {
+		t.Errorf("farm-backed figa diverges from the committed golden: %v", err)
+	}
+}
+
 // TestFarmBackedGoldenFig3 covers the other execution path — the
 // resultFor/prefetch grid used by the paper's headline figure — against its
 // golden snapshot, cold then warm.

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+// FigureA is the collective-workload sweep, an extension beyond the paper:
+// the AI/storage dependency-graph generators (ring and tree all-reduce,
+// MoE all-to-all, 2D/3D halo exchange, checkpoint burst) run through the
+// paper's localizing-vs-balancing question — contiguous vs random-node
+// placement under minimal vs adaptive routing — on both interconnects (the
+// XC40 dragonfly the paper studies and the Dragonfly+ extension). The first
+// table characterizes each workload's graph (what the paper's flat traces
+// cannot express: dependency structure, critical path); the rest are
+// fig3-style results per machine.
+func (r *Runner) FigureA() (*Report, error) {
+	apps := trace.GraphApps()
+	cells := []core.Cell{
+		{Placement: placement.Contiguous, Routing: routing.Minimal},
+		{Placement: placement.Contiguous, Routing: routing.Adaptive},
+		{Placement: placement.RandomNode, Routing: routing.Minimal},
+		{Placement: placement.RandomNode, Routing: routing.Adaptive},
+	}
+	machines := []topology.Machine{r.Machine(), r.figaPlusMachine()}
+	rep := &Report{
+		ID:    "figa",
+		Title: "Collective and storage workloads across placements, routings, and interconnects (extension beyond the paper)",
+		Notes: []string{
+			"workloads are dependency-graph generators (GOAL-like IR), not flat traces: pipelined ring steps, windowed all-to-all, halo joins",
+			"localizing (cont) vs balancing (rand) under min/adp, on the XC40 dragonfly and a Dragonfly+ machine of equal node count",
+		},
+	}
+
+	structure := Table{
+		Title:   "Workload graph structure",
+		Columns: []string{"app", "ranks", "nodes", "edges", "total_mib", "critpath_mib", "max_fanout"},
+	}
+	for _, app := range apps {
+		g, err := r.AppGraph(app)
+		if err != nil {
+			return nil, err
+		}
+		structure.Rows = append(structure.Rows, []string{
+			app, fmt.Sprintf("%d", g.NumRanks()),
+			fmt.Sprintf("%d", g.NumNodes()), fmt.Sprintf("%d", g.NumEdges()),
+			fmtF(float64(g.TotalSendBytes()) / (1 << 20)),
+			fmtF(float64(g.CriticalPathBytes()) / (1 << 20)),
+			fmt.Sprintf("%d", g.MaxFanOut()),
+		})
+	}
+	rep.Tables = append(rep.Tables, structure)
+
+	var cfgs []core.Config
+	for _, m := range machines {
+		for _, app := range apps {
+			g, err := r.AppGraph(app)
+			if err != nil {
+				return nil, err
+			}
+			for _, cell := range cells {
+				cfgs = append(cfgs, core.Config{
+					Topology:       m,
+					Params:         network.DefaultParams(),
+					Placement:      cell.Placement,
+					Routing:        cell.Routing,
+					Graph:          g,
+					Seed:           r.opts.Seed,
+					Audit:          r.opts.Audit,
+					Faults:         r.opts.Faults,
+					WatchdogEvents: defaultWatchdogEvents,
+				})
+			}
+		}
+	}
+	results, err := r.runBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	i := 0
+	for _, m := range machines {
+		t := Table{
+			Title:   fmt.Sprintf("Communication time and hops on %s", m.Label()),
+			Columns: []string{"app", "config", "median_ms", "max_ms", "mean_hops"},
+		}
+		for _, app := range apps {
+			for _, cell := range cells {
+				res := results[i]
+				i++
+				if !res.Completed {
+					return nil, fmt.Errorf("experiments: figa %s under %s on %s did not complete",
+						app, cell.Name(), m.Label())
+				}
+				r.progressf("ran %-6s %-9s machine=%-24s simtime=%v events=%d",
+					app, cell.Name(), m.Label(), res.Duration, res.Events)
+				b := stats.BoxOf(res.CommTimesMs())
+				t.Rows = append(t.Rows, []string{
+					app, cell.Name(), fmtF(b.Median), fmtF(b.Max), fmtF(meanOf(res.AvgHops)),
+				})
+			}
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return r.finish(rep)
+}
+
+// figaPlusMachine returns the Dragonfly+ counterpart of the runner's scale:
+// the 160-node mini preset at quick scale (same node count as the quick
+// XC40 machine), the full Dragonfly+ preset at paper scale.
+func (r *Runner) figaPlusMachine() topology.Machine {
+	if r.opts.Scale == ScalePaper {
+		return topology.Plus()
+	}
+	return topology.PlusMini()
+}

@@ -31,8 +31,9 @@ import (
 // fault model's deterministic draw and the fault-aware routing layer), and
 // figq the learning-router comparison (also on mini — it anchors the
 // qadaptive policy's Q-table trajectory end to end, saturation feedback
-// included).
-var goldenIDs = []string{"fig2", "fig3", "fig8", "figr", "figq"}
+// included), and figa the collective-workload sweep (it anchors the
+// dependency-graph generators and the graph executor on both interconnects).
+var goldenIDs = []string{"fig2", "fig3", "fig8", "figr", "figq", "figa"}
 
 func updateGolden() bool { return os.Getenv("UPDATE_GOLDEN") == "1" }
 

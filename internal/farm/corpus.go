@@ -53,7 +53,7 @@ func CorpusRow(cfg core.Config, res *core.Result) ([]string, error) {
 	row := []string{
 		AddressOf(enc), spec,
 		cfg.Placement.String(), cfg.Routing.String(), cfg.Mapping.String(),
-		cfg.Trace.App, strconv.Itoa(cfg.Trace.NumRanks()), cf(orOne(cfg.MsgScale)),
+		cfg.WorkloadApp(), strconv.Itoa(cfg.WorkloadRanks()), cf(orOne(cfg.MsgScale)),
 		bgKind, strconv.FormatInt(bgBytes, 10), strconv.FormatInt(bgInterval, 10), strconv.Itoa(bgFan),
 		quoteFaults(cfg.Faults.String()), strconv.FormatInt(cfg.Seed, 10),
 

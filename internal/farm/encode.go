@@ -50,6 +50,19 @@ func digestOf(t *trace.Trace) uint64 {
 	return d
 }
 
+// graphDigests memoizes graph content digests by pointer, mirroring
+// traceDigests for dependency-graph workloads.
+var graphDigests sync.Map // *trace.Graph -> uint64
+
+func graphDigestOf(g *trace.Graph) uint64 {
+	if d, ok := graphDigests.Load(g); ok {
+		return d.(uint64)
+	}
+	d := g.Digest()
+	graphDigests.Store(g, d)
+	return d
+}
+
 // coveredConfigFields, coveredParamsFields, coveredRouteFields, and
 // coveredBackgroundFields list the struct fields Encode renders. The
 // coverage tests reflect over the real structs and fail when a field is
@@ -59,8 +72,8 @@ func digestOf(t *trace.Trace) uint64 {
 var (
 	coveredConfigFields = map[string]bool{
 		"Topology": true, "Params": true, "Placement": true, "Routing": true,
-		"Mapping": true, "Trace": true, "MsgScale": true, "Background": true,
-		"Seed": true, "Faults": true, "MaxSimTime": true,
+		"Mapping": true, "Trace": true, "Graph": true, "MsgScale": true,
+		"Background": true, "Seed": true, "Faults": true, "MaxSimTime": true,
 		"WatchdogEvents": true, "WatchdogTime": true, "Audit": true,
 	}
 	coveredParamsFields = map[string]bool{
@@ -90,8 +103,8 @@ var (
 // declare faults through Config.Faults instead). A custom Route.Policy is
 // identified by its Name(); distinct policies must use distinct names.
 func Encode(cfg core.Config) (string, error) {
-	if cfg.Trace == nil {
-		return "", fmt.Errorf("farm: config has no trace")
+	if cfg.Trace == nil && cfg.Graph == nil {
+		return "", fmt.Errorf("farm: config has no workload")
 	}
 	if cfg.Topology == nil {
 		return "", fmt.Errorf("farm: config has no machine")
@@ -111,9 +124,18 @@ func Encode(cfg core.Config) (string, error) {
 	fmt.Fprintf(&b, "placement=%s\n", cfg.Placement)
 	fmt.Fprintf(&b, "routing=%s\n", cfg.Routing)
 	fmt.Fprintf(&b, "mapping=%s\n", cfg.Mapping)
-	fmt.Fprintf(&b, "trace.app=%s\n", cfg.Trace.App)
-	fmt.Fprintf(&b, "trace.ranks=%d\n", cfg.Trace.NumRanks())
-	fmt.Fprintf(&b, "trace.digest=%016x\n", digestOf(cfg.Trace))
+	// Graph workloads key on their own lines (the executor ignores Trace
+	// when Graph is set); flat-trace lines are untouched so every
+	// pre-graph-IR address stays reachable.
+	if cfg.Graph != nil {
+		fmt.Fprintf(&b, "graph.app=%s\n", cfg.Graph.App)
+		fmt.Fprintf(&b, "graph.ranks=%d\n", cfg.Graph.NumRanks())
+		fmt.Fprintf(&b, "graph.digest=%016x\n", graphDigestOf(cfg.Graph))
+	} else {
+		fmt.Fprintf(&b, "trace.app=%s\n", cfg.Trace.App)
+		fmt.Fprintf(&b, "trace.ranks=%d\n", cfg.Trace.NumRanks())
+		fmt.Fprintf(&b, "trace.digest=%016x\n", digestOf(cfg.Trace))
+	}
 	// The replay layer treats any scale <= 0 as 1, so the encoder folds
 	// them together: MsgScale 0 and 1 are one configuration, one address.
 	msgScale := cfg.MsgScale

@@ -76,6 +76,14 @@ func TestEveryFieldPerturbsAddress(t *testing.T) {
 		name  string
 		apply func(cfg *core.Config)
 	}
+	mustRing := func(t *testing.T, ranks int, bytes int64, rounds int) *trace.Graph {
+		t.Helper()
+		g, err := trace.RingAllReduce(trace.RingAllReduceConfig{Ranks: ranks, Bytes: bytes, Rounds: rounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
 	otherTrace := func() *trace.Trace {
 		tr, err := trace.CR(trace.CRConfig{Ranks: 16, MessageBytes: 8 * trace.KB})
 		if err != nil {
@@ -93,6 +101,30 @@ func TestEveryFieldPerturbsAddress(t *testing.T) {
 		{"Routing", "routing", func(c *core.Config) { c.Routing = routing.Adaptive }},
 		{"Mapping", "mapping", func(c *core.Config) { c.Mapping = mapping.Shuffle }},
 		{"Trace", "trace content", func(c *core.Config) { c.Trace = otherTrace() }},
+		{"Graph", "graph workload", func(c *core.Config) { c.Graph = mustRing(t, 8, 64*trace.KB, 1) }},
+		{"Graph", "graph ranks", func(c *core.Config) { c.Graph = mustRing(t, 12, 64*trace.KB, 1) }},
+		{"Graph", "graph payload", func(c *core.Config) { c.Graph = mustRing(t, 8, 128*trace.KB, 1) }},
+		{"Graph", "graph rounds", func(c *core.Config) { c.Graph = mustRing(t, 8, 64*trace.KB, 2) }},
+		{"Graph", "graph app", func(c *core.Config) {
+			g, err := trace.TreeAllReduce(trace.TreeAllReduceConfig{Ranks: 8, Bytes: 64 * trace.KB, Rounds: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Graph = g
+		}},
+		{"Graph", "graph structure", func(c *core.Config) {
+			// Same app label, ranks, and traffic as "graph workload", different
+			// dependency edges: only the content digest separates them.
+			g := mustRing(t, 8, 64*trace.KB, 1)
+			h := &trace.Graph{App: g.App, Ranks: make([][]trace.GraphNode, len(g.Ranks))}
+			for r, nodes := range g.Ranks {
+				h.Ranks[r] = append([]trace.GraphNode(nil), nodes...)
+				for i := range h.Ranks[r] {
+					h.Ranks[r][i].Deps = nil // drop every dependency edge
+				}
+			}
+			c.Graph = h
+		}},
 		{"MsgScale", "msg scale", func(c *core.Config) { c.MsgScale = 2 }},
 		{"Seed", "seed", func(c *core.Config) { c.Seed = 2 }},
 		{"Audit", "audit", func(c *core.Config) { c.Audit = true }},
@@ -221,6 +253,58 @@ func TestEncodeStability(t *testing.T) {
 	}
 	if za != oa {
 		t.Fatal("MsgScale 0 and 1 are the same simulation but address differently")
+	}
+}
+
+// TestEncodeGraphWorkloads pins the flat/graph encoding split: a flat
+// config's text carries trace.* lines and never graph.* (so every address
+// banked before the graph IR stays reachable); a graph config swaps exactly
+// those three lines, keys on graph content, and ignores any residual Trace.
+func TestEncodeGraphWorkloads(t *testing.T) {
+	flat, err := Encode(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flat, "trace.app=") || strings.Contains(flat, "graph.") {
+		t.Fatalf("flat encoding malformed:\n%s", flat)
+	}
+
+	g, err := trace.RingAllReduce(trace.RingAllReduceConfig{Ranks: 8, Bytes: 64 * trace.KB, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := baseConfig(t)
+	gcfg.Graph = g
+	genc, err := Encode(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph.app=RING\n", "graph.ranks=8\n", "graph.digest="} {
+		if !strings.Contains(genc, want) {
+			t.Errorf("graph encoding missing %q:\n%s", want, genc)
+		}
+	}
+	if strings.Contains(genc, "trace.") {
+		t.Fatalf("graph encoding leaks trace lines:\n%s", genc)
+	}
+	// Graph identity is content, not the Trace riding along: changing the
+	// (ignored) trace must not move the address; changing graph content must.
+	other := gcfg
+	other.Trace = nil
+	oa, err := Address(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := Address(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga != oa {
+		t.Fatal("residual Trace moved a graph config's address")
+	}
+	// A graph-only config is cacheable; a workload-free one is not.
+	if _, err := Encode(core.Config{Topology: gcfg.Topology, Params: gcfg.Params}); err == nil {
+		t.Fatal("Encode accepted a config with no workload")
 	}
 }
 

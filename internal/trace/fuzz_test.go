@@ -1,0 +1,163 @@
+// FuzzGraph drives randomly-shaped dependency DAGs — balanced exchanges,
+// chained computes, fan-in joins, arbitrary extra edges — through Validate,
+// the structural stats, and the graph executor itself (on a stub fabric),
+// checking the executor completes deterministically on anything Validate
+// accepts. Lives in the external test package so it can import workload
+// (which imports trace) without a cycle.
+package trace_test
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/workload"
+)
+
+// fuzzStubFabric completes sends after a payload-proportional delay without
+// modeling a network — enough to exercise matching, joins, and compute
+// timing in the executor.
+type fuzzStubFabric struct {
+	eng   *des.Engine
+	nodes int
+}
+
+func (s *fuzzStubFabric) Engine() *des.Engine { return s.eng }
+func (s *fuzzStubFabric) NodeCount() int      { return s.nodes }
+
+func (s *fuzzStubFabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDelivered func(des.Time)) {
+	inj := s.eng.Now() + des.Time(1+bytes/64)
+	del := inj + 500
+	if onInjected != nil {
+		s.eng.At(inj, func() { onInjected(inj) })
+	}
+	if onDelivered != nil {
+		s.eng.At(del, func() { onDelivered(del) })
+	}
+}
+
+func (s *fuzzStubFabric) AvgHops(topology.NodeID) (float64, int64) { return 0, 0 }
+
+// buildFuzzGraph interprets data as a little graph-construction program
+// that only emits structurally valid graphs: matched send/recv pairs,
+// strictly-earlier ascending deps, in-range peers.
+func buildFuzzGraph(data []byte) *trace.Graph {
+	n := 2
+	if len(data) > 0 {
+		n += int(data[0]) % 3
+	}
+	g := &trace.Graph{App: "FUZZ", Ranks: make([][]trace.GraphNode, n)}
+	add := func(rank int, node trace.GraphNode) {
+		g.Ranks[rank] = append(g.Ranks[rank], node)
+	}
+	dep1 := func(rank int, sel byte) []int32 {
+		m := len(g.Ranks[rank])
+		if m == 0 || sel%2 == 0 {
+			return nil
+		}
+		return []int32{int32(int(sel) % m)}
+	}
+	for i := 1; i+3 < len(data) && g.NumNodes() < 96; i += 4 {
+		op, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
+		switch op % 3 {
+		case 0: // matched exchange
+			src := int(a) % n
+			dst := int(b) % n
+			if dst == src {
+				dst = (src + 1) % n
+			}
+			bytes := 1 + int64(c)*7
+			tag := int32(a % 5)
+			add(src, trace.GraphNode{
+				Kind: trace.NodeSend, Peer: int32(dst), Bytes: bytes, Tag: tag, Deps: dep1(src, c),
+			})
+			add(dst, trace.GraphNode{
+				Kind: trace.NodeRecv, Peer: int32(src), Bytes: bytes, Tag: tag, Deps: dep1(dst, b),
+			})
+		case 1: // compute, possibly delayed
+			rank := int(a) % n
+			var delay des.Time
+			if b%2 == 1 {
+				delay = des.Time(c) * des.Nanosecond
+			}
+			add(rank, trace.GraphNode{Kind: trace.NodeCompute, Delay: delay, Deps: dep1(rank, c)})
+		case 2: // fan-in join over the rank's last few nodes
+			rank := int(a) % n
+			m := len(g.Ranks[rank])
+			width := int(c)%4 + 1
+			if width > m {
+				width = m
+			}
+			deps := make([]int32, 0, width)
+			for id := m - width; id < m; id++ {
+				deps = append(deps, int32(id))
+			}
+			add(rank, trace.GraphNode{Kind: trace.NodeCompute, Deps: deps})
+		}
+	}
+	return g
+}
+
+// runFuzzGraph executes the graph on the stub fabric. A valid graph can
+// still deadlock across ranks (mutual recv-before-send); the engine then
+// simply drains with the job incomplete, which must itself be
+// deterministic.
+func runFuzzGraph(t *testing.T, g *trace.Graph) (bool, uint64, []des.Time) {
+	t.Helper()
+	eng := des.New()
+	fab := &fuzzStubFabric{eng: eng, nodes: g.NumRanks()}
+	nodes := make([]topology.NodeID, g.NumRanks())
+	for i := range nodes {
+		nodes[i] = topology.NodeID(i)
+	}
+	rep, err := workload.NewReplay(fab, workload.Job{Name: g.App, Graph: g, Nodes: nodes})
+	if err != nil {
+		t.Fatalf("NewReplay: %v", err)
+	}
+	rep.Start()
+	eng.Run()
+	return rep.Done(), eng.Processed(), rep.CommTimes()
+}
+
+func FuzzGraph(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 1, 9, 0, 1, 2, 30, 1, 3, 1, 200, 2, 0, 0, 3})
+	f.Add([]byte{2, 3, 0, 1, 50, 3, 1, 0, 9, 3, 2, 1, 7, 6, 0, 2, 2, 2, 1, 1, 255})
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := buildFuzzGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("constructed graph invalid: %v", err)
+		}
+		if d := g.Digest(); d != g.Digest() {
+			t.Fatal("digest unstable")
+		}
+		total := g.TotalSendBytes()
+		var matSum int64
+		for _, row := range g.Matrix(2) {
+			for _, v := range row {
+				matSum += int64(v)
+			}
+		}
+		if matSum != total {
+			t.Fatalf("matrix sums %d, TotalSendBytes %d", matSum, total)
+		}
+		if cp := g.CriticalPathBytes(); cp < 0 || cp > total {
+			t.Fatalf("critical path %d outside [0, %d]", cp, total)
+		}
+		done1, ev1, times1 := runFuzzGraph(t, g)
+		done2, ev2, times2 := runFuzzGraph(t, g)
+		if done1 != done2 || ev1 != ev2 {
+			t.Fatalf("nondeterministic execution: done %v/%v events %d/%d", done1, done2, ev1, ev2)
+		}
+		for i := range times1 {
+			if times1[i] != times2[i] {
+				t.Fatalf("rank %d comm time %v vs %v", i, times1[i], times2[i])
+			}
+			if times1[i] < 0 {
+				t.Fatalf("rank %d negative comm time %v", i, times1[i])
+			}
+		}
+	})
+}

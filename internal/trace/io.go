@@ -62,6 +62,22 @@ type Summary struct {
 	TotalSendBytes int64     `json:"total_send_bytes"`
 	AvgLoadPerRank float64   `json:"avg_load_per_rank_bytes"`
 	PhaseLoads     []float64 `json:"phase_loads_bytes_per_rank"`
+	// Graph digests the trace's lowered dependency graph — the IR the
+	// executor actually runs.
+	Graph GraphSummary `json:"graph"`
+}
+
+// GraphSummary is the JSON-friendly digest of a dependency graph: structural
+// counts plus the byte-weighted critical path, which bounds how much the
+// workload can pipeline.
+type GraphSummary struct {
+	App               string `json:"app"`
+	Ranks             int    `json:"ranks"`
+	Nodes             int    `json:"nodes"`
+	Edges             int    `json:"edges"`
+	TotalSendBytes    int64  `json:"total_send_bytes"`
+	CriticalPathBytes int64  `json:"critical_path_bytes"`
+	MaxFanOut         int    `json:"max_fanout"`
 }
 
 // Summarize computes a trace's digest.
@@ -73,6 +89,20 @@ func Summarize(t *Trace) Summary {
 		TotalSendBytes: t.TotalSendBytes(),
 		AvgLoadPerRank: t.AvgLoadPerRank(),
 		PhaseLoads:     t.PhaseLoads(),
+		Graph:          SummarizeGraph(t.Graph()),
+	}
+}
+
+// SummarizeGraph computes a graph's digest.
+func SummarizeGraph(g *Graph) GraphSummary {
+	return GraphSummary{
+		App:               g.App,
+		Ranks:             g.NumRanks(),
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		TotalSendBytes:    g.TotalSendBytes(),
+		CriticalPathBytes: g.CriticalPathBytes(),
+		MaxFanOut:         g.MaxFanOut(),
 	}
 }
 
@@ -81,4 +111,56 @@ func WriteSummaryJSON(w io.Writer, t *Trace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Summarize(t))
+}
+
+// WriteGraphSummaryJSON writes a graph's digest as indented JSON.
+func WriteGraphSummaryJSON(w io.Writer, g *Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(SummarizeGraph(g))
+}
+
+// WriteGraph serializes a dependency graph in the library's binary format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	return gob.NewEncoder(w).Encode(g)
+}
+
+// ReadGraph deserializes a graph written by WriteGraph and validates it.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("trace: decode graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// WriteGraphFile writes a graph to a file.
+func WriteGraphFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteGraph(bw, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGraphFile reads a graph from a file.
+func ReadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(bufio.NewReader(f))
 }

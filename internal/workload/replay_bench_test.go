@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"dragonfly/internal/des"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/trace"
+)
+
+// benchFabric completes sends after a payload-proportional delay without
+// modeling a network, so the benchmarks measure the graph executor alone
+// (the real fabric allocates per-message flow state of its own). Scheduling
+// goes through AtCall with a package-level callback and the executor's
+// prebuilt completion funcs as pointer-shaped args — zero allocations — so
+// a regression in the benchmark's allocs/op is the executor's.
+type benchFabric struct {
+	eng   *des.Engine
+	nodes int
+}
+
+func fireTimed(arg any, at des.Time) { arg.(func(des.Time))(at) }
+
+func (f *benchFabric) Engine() *des.Engine { return f.eng }
+func (f *benchFabric) NodeCount() int      { return f.nodes }
+
+func (f *benchFabric) Send(src, dst topology.NodeID, bytes int64, onInjected, onDelivered func(des.Time)) {
+	inj := f.eng.Now() + des.Time(1+bytes/64)
+	if onInjected != nil {
+		f.eng.AtCall(inj, fireTimed, onInjected)
+	}
+	if onDelivered != nil {
+		f.eng.AtCall(inj+500, fireTimed, onDelivered)
+	}
+}
+
+func (f *benchFabric) AvgHops(topology.NodeID) (float64, int64) { return 0, 0 }
+
+// benchReplayGraph drives one graph to completion per iteration on a warm
+// Replay: the first (untimed) run sizes every internal buffer, then Reset
+// restarts the job at the engine's current clock. Steady state must stay at
+// 0 allocs/op — the executor's warm-path contract.
+func benchReplayGraph(b *testing.B, g *trace.Graph) {
+	b.Helper()
+	eng := des.New()
+	fab := &benchFabric{eng: eng, nodes: g.NumRanks()}
+	nodes := make([]topology.NodeID, g.NumRanks())
+	for i := range nodes {
+		nodes[i] = topology.NodeID(i)
+	}
+	rep, err := NewReplay(fab, Job{Name: g.App, Graph: g, Nodes: nodes})
+	if err != nil {
+		b.Fatalf("NewReplay: %v", err)
+	}
+	rep.Start()
+	eng.Run()
+	if !rep.Done() {
+		b.Fatal("warm-up run incomplete")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Reset(eng.Now())
+		rep.Start()
+		eng.Run()
+		if !rep.Done() {
+			b.Fatal("run incomplete")
+		}
+	}
+}
+
+// BenchmarkReplayGraphRing is the pipelined-dependency shape: long per-rank
+// chains of alternating sends and receives.
+func BenchmarkReplayGraphRing(b *testing.B) {
+	g, err := trace.RingAllReduce(trace.RingAllReduceConfig{Ranks: 32, Bytes: 256 * trace.KB, Rounds: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchReplayGraph(b, g)
+}
+
+// BenchmarkReplayGraphMoE is the fan-heavy shape: wide windowed all-to-all
+// phases joined by zero-delay computes.
+func BenchmarkReplayGraphMoE(b *testing.B) {
+	g, err := trace.MoEAllToAll(trace.MoEAllToAllConfig{Ranks: 24, Bytes: 32 * trace.KB, Rounds: 1, Window: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchReplayGraph(b, g)
+}
+
+// BenchmarkReplayGraphLoweredCR replays a flat miniapp trace through the
+// lowering path — the exact graphs every paper experiment now executes.
+func BenchmarkReplayGraphLoweredCR(b *testing.B) {
+	tr, err := trace.CR(trace.CRConfig{Ranks: 24, MessageBytes: 12 * trace.KB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchReplayGraph(b, tr.Graph())
+}
