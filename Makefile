@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke farm-smoke collectives-smoke
+.PHONY: build test race fuzz-smoke bench bench-diff scale-smoke farm-smoke collectives-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPolicy -fuzztime=10s ./internal/routing
 	$(GO) test -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
+	$(GO) test -fuzz=FuzzFaultSequence -fuzztime=10s ./internal/faults
 	$(GO) test -fuzz=FuzzGraph -fuzztime=10s ./internal/trace
 
 # Refresh the in-repo performance snapshot (engine/fabric/routing
@@ -67,6 +68,27 @@ farm-smoke: build
 collectives-smoke: build
 	$(GO) test ./internal/topotest -run 'TestCollective' -count=1
 	$(GO) test ./internal/experiments -run 'TestGoldenReports/figa|TestFarmBackedGoldenFigA' -count=1
+
+# Chaos smoke: the same small sweep runs once clean and once under seeded
+# deterministic fault injection at every site — bit-flipped store reads,
+# failed writes, worker panics and kills, simulated DES stalls — with a
+# retry budget that the per-key injection cap guarantees converges. The
+# gate: faults actually fired, no cell was quarantined, the chaos corpus is
+# byte-identical to the clean one, and a post-hoc scrub of the hammered
+# store finds zero corrupt entries. Self-healing proven, not trusted.
+CHAOS_SMOKE := /tmp/dffarm-chaos-smoke
+CHAOS_SPEC := store.read=0.9,store.write=0.9,worker.panic=0.9,worker.kill=0.9,sim.stall=0.9,max=1,seed=7
+chaos-smoke: build
+	rm -rf $(CHAOS_SMOKE) && mkdir -p $(CHAOS_SMOKE)
+	$(GO) run ./cmd/dffarm -cache $(CHAOS_SMOKE)/clean -apps CR -placements cont,rand -routings min,adp -quiet -corpus $(CHAOS_SMOKE)/clean.csv
+	$(GO) run ./cmd/dffarm -cache $(CHAOS_SMOKE)/chaos -apps CR -placements cont,rand -routings min,adp -quiet -corpus $(CHAOS_SMOKE)/chaos.csv \
+		-chaos "$(CHAOS_SPEC)" -retries 5 -quarantine-limit 1 2>&1 | tee $(CHAOS_SMOKE)/chaos.log
+	grep -q "faults injected" $(CHAOS_SMOKE)/chaos.log
+	grep -q "0 quarantined" $(CHAOS_SMOKE)/chaos.log
+	cmp $(CHAOS_SMOKE)/clean.csv $(CHAOS_SMOKE)/chaos.csv
+	$(GO) run ./cmd/dffarm -cache $(CHAOS_SMOKE)/chaos -scrub 2>&1 | tee $(CHAOS_SMOKE)/scrub.log
+	grep -q "0 corrupt" $(CHAOS_SMOKE)/scrub.log
+	@echo "chaos-smoke: chaos sweep converged to the clean corpus byte-for-byte; store scrub clean"
 
 # Big-machine shakeout: wire ~20k-router Dragonfly and Dragonfly+ machines,
 # route 1k validated sampled pairs each, and drive an audited traffic burst

@@ -53,6 +53,12 @@ func main() {
 		resume   = flag.Bool("resume", false, "report how much of the job the store already banks before running (completion is address-driven, so resuming is always safe)")
 		corpus   = flag.String("corpus", "", "write the sweep's training-corpus CSV to this file (other shards' cells are skipped)")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		scrub    = flag.Bool("scrub", false, "verify every store object's integrity, quarantine corrupt entries (the next sweep re-runs them), print the report, and exit")
+		retries  = flag.Int("retries", 0, "re-attempts per failing cell before its error stands (0 = fail on first error)")
+		jobTmo   = flag.Duration("job-timeout", 0, "wall-clock budget per cell, e.g. 5m (0 = unlimited)")
+		quarLim  = flag.Int("quarantine-limit", 0, "poisoned cells tolerated per sweep: a cell failing every attempt is quarantined with diagnostics and the sweep continues, up to this many (0 = first exhausted cell is fatal)")
+		chaosStr = flag.String("chaos", "", "inject seeded deterministic faults for resilience testing: comma clauses SITE=PROB (sites store.read, store.write, worker.panic, worker.kill, sim.stall), max=K, seed=N")
+		jobEvs   = flag.Uint64("job-events", 0, "override every cell's DES stall-watchdog event budget (0 = the experiment default; part of the cell's content address)")
 	)
 	flag.Parse()
 	if *cacheDir == "" {
@@ -61,6 +67,18 @@ func main() {
 	shard, numShards, err := cliutil.Shard(*shardStr)
 	if err != nil {
 		cliutil.Usagef("dffarm", "%v", err)
+	}
+	if *scrub {
+		store, err := dragonfly.OpenFarm(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rep, err := store.Scrub()
+		if err != nil {
+			fatalf("scrub: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dffarm: scrub %s: %s\n", *cacheDir, rep)
+		return
 	}
 
 	// Resolve every sweep axis up front so flag mistakes exit before any
@@ -119,6 +137,19 @@ func main() {
 	if err != nil {
 		cliutil.Usagef("dffarm", "%v", err)
 	}
+	if *retries, err = cliutil.Retries(*retries); err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	if *jobTmo, err = cliutil.JobTimeout(*jobTmo); err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	if *quarLim, err = cliutil.QuarantineLimit(*quarLim); err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
+	chaosSpec, err := cliutil.ChaosSpec(*chaosStr)
+	if err != nil {
+		cliutil.Usagef("dffarm", "%v", err)
+	}
 
 	// The runner builds each cell's configuration exactly as the experiment
 	// harness would (same machine, params, watchdog, interference volumes),
@@ -152,6 +183,9 @@ func main() {
 									cfg.Mapping = mp
 									cfg.Seed = seed
 									cfg.Faults = fs
+									if *jobEvs > 0 {
+										cfg.WatchdogEvents = *jobEvs
+									}
 									cfgs = append(cfgs, cfg)
 								}
 							}
@@ -188,7 +222,15 @@ func main() {
 		job, len(cfgs), banked, shard, numShards, *cacheDir)
 
 	start := time.Now()
-	fopts := dragonfly.FarmOptions{Parallel: *parallel, Shard: shard, NumShards: numShards}
+	fopts := dragonfly.FarmOptions{
+		Parallel:        *parallel,
+		Shard:           shard,
+		NumShards:       numShards,
+		Retries:         *retries,
+		JobTimeout:      *jobTmo,
+		QuarantineLimit: *quarLim,
+		Chaos:           dragonfly.NewChaosInjector(chaosSpec),
+	}
 	if !*quiet {
 		fopts.Progress = func(ev dragonfly.FarmProgress) {
 			kind := "miss"
@@ -211,9 +253,28 @@ func main() {
 	if err := store.SaveManifest(manifest); err != nil {
 		fmt.Fprintf(os.Stderr, "dffarm: manifest not saved: %v\n", err)
 	}
-	fmt.Fprintf(os.Stderr, "dffarm: %d/%d cells done (this shard: %d hits, %d simulated, %d corrupt re-run, %d uncacheable, %d errors) in %v\n",
-		manifest.Done, manifest.Cells, stats.Hits, stats.Misses, stats.Corrupt, stats.Uncacheable, stats.Errors,
+	fmt.Fprintf(os.Stderr, "dffarm: %d/%d cells done (this shard: %d hits, %d simulated, %d corrupt re-run, %d retried, %d quarantined, %d uncacheable, %d errors) in %v\n",
+		manifest.Done, manifest.Cells, stats.Hits, stats.Misses, stats.Corrupt, stats.Retried, stats.Quarantined, stats.Uncacheable, stats.Errors,
 		time.Since(start).Round(time.Millisecond))
+	if inj := fopts.Chaos.Injected(); inj > 0 {
+		fmt.Fprintf(os.Stderr, "dffarm: chaos: %d faults injected (%s)\n", inj, chaosSpec)
+	}
+	// Quarantined cells are a flagged partial result, never a silent
+	// truncation: name each poisoned cell and where its diagnostics live.
+	if stats.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "dffarm: WARNING: %d cells quarantined after exhausting %d attempts each; the sweep's outputs omit them\n",
+			stats.Quarantined, 1+*retries)
+		if recs, err := store.QuarantinedJobs(); err == nil {
+			for _, rec := range recs {
+				last := ""
+				if n := len(rec.Errors); n > 0 {
+					last = rec.Errors[n-1]
+				}
+				fmt.Fprintf(os.Stderr, "dffarm:   quarantined %s (%d attempts): %s\n", rec.Name, rec.Attempts, last)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dffarm: diagnostics under %s/quarantine/jobs; fix the cause and re-run (addresses re-run automatically)\n", *cacheDir)
+	}
 	if runErr != nil {
 		fatalf("%v", runErr)
 	}

@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"dragonfly/internal/audit"
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
 	"dragonfly/internal/experiments"
@@ -404,6 +405,34 @@ type (
 	// FarmManifest is the advisory bookkeeping record of one sweep job.
 	FarmManifest = farm.Manifest
 )
+
+// Execution resilience: per-cell scrubbing, quarantine bookkeeping, and
+// deterministic chaos injection (see cmd/dffarm's -scrub, -retries,
+// -quarantine-limit, and -chaos flags).
+type (
+	// FarmScrubReport summarizes a store integrity scrub
+	// (FarmStore.Scrub): corrupt entries are quarantined, in-flight
+	// writes skipped, and the next sweep re-runs what was removed.
+	FarmScrubReport = farm.ScrubReport
+	// FarmQuarantineRecord is the diagnostic record of one poisoned job:
+	// the cell's name, attempts consumed, and one line per failure.
+	FarmQuarantineRecord = farm.QuarantineRecord
+	// ChaosSpec declares a deterministic fault-injection plan for
+	// resilience testing: per-site probabilities, a seed, and a per-key
+	// fault cap that keeps retry budgets convergent.
+	ChaosSpec = chaos.Spec
+	// ChaosInjector makes the seeded injection decisions; nil disables
+	// injection at zero cost (FarmOptions.Chaos).
+	ChaosInjector = chaos.Injector
+)
+
+// ParseChaosSpec parses the -chaos CLI grammar, e.g.
+// "worker.kill=0.2,store.read=0.1,max=1,seed=7".
+func ParseChaosSpec(text string) (*ChaosSpec, error) { return chaos.ParseSpec(text) }
+
+// NewChaosInjector builds an injector from a spec; a nil or empty spec
+// yields a nil injector (injection disabled).
+func NewChaosInjector(spec *ChaosSpec) *ChaosInjector { return chaos.New(spec) }
 
 // OpenFarm opens (creating if needed) a farm store rooted at dir.
 func OpenFarm(dir string) (*FarmStore, error) { return farm.Open(dir) }

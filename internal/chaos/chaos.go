@@ -1,0 +1,297 @@
+// Package chaos is the simulator's fault-point framework: seeded,
+// deterministic failure injection at the execution layer's seams — store
+// I/O, worker execution, and the DES boundary — so the self-healing
+// machinery (retries, quarantine, store scrubbing) can be proven under
+// hostile conditions instead of trusted.
+//
+// The design constraints, in order:
+//
+//   - Deterministic. Whether a fault fires at a site is a pure function of
+//     (seed, site, key, attempt number): a hash draw, never a wall-clock or
+//     scheduler race. A chaos run is therefore reproducible bug-for-bug,
+//     and the chaos suite can assert that a sweep under injected kills,
+//     panics, and bit-flips converges to the exact corpus of a clean run.
+//   - Bounded. Each (site, key) pair fires at most MaxPerKey faults, so a
+//     retry budget >= MaxPerKey always converges. Unbounded injection would
+//     make "the sweep completes" unprovable.
+//   - Zero-cost when disabled. Every hook is a method on a nil-able
+//     *Injector; a nil receiver returns false after one comparison, and no
+//     chaos state exists anywhere in a production run.
+//
+// Injection points name themselves with Site constants; the key is the
+// unit of work's identity (a content address, a job name), which is what
+// keeps decisions independent of execution order across worker counts.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Site names one injection point. Sites are compile-time constants so a
+// typo'd site in a hook is greppable, and the spec grammar validates
+// against this list.
+type Site string
+
+const (
+	// SiteStoreRead flips one bit of a store entry as it is read,
+	// simulating disk rot; the store's integrity verification must turn it
+	// into a corrupt-entry re-run, never a wrong result.
+	SiteStoreRead Site = "store.read"
+	// SiteStoreWrite fails a store write, simulating a full or dying disk;
+	// a failed write may cost future cache hits, never the present result.
+	SiteStoreWrite Site = "store.write"
+	// SiteWorkerPanic panics inside a sweep worker mid-cell, simulating a
+	// model bug; the panic firewall must contain it to that attempt.
+	SiteWorkerPanic Site = "worker.panic"
+	// SiteWorkerKill fails a cell as if its worker process was killed.
+	SiteWorkerKill Site = "worker.kill"
+	// SiteSimStall fails a cell at the DES boundary as if the simulation
+	// tripped its stall watchdog mid-run.
+	SiteSimStall Site = "sim.stall"
+)
+
+// Sites lists every injection point, in grammar order.
+func Sites() []Site {
+	return []Site{SiteStoreRead, SiteStoreWrite, SiteWorkerPanic, SiteWorkerKill, SiteSimStall}
+}
+
+// DefaultMaxPerKey bounds injected faults per (site, key) when the spec
+// does not say otherwise: low enough that a modest retry budget converges,
+// high enough that retries are genuinely exercised.
+const DefaultMaxPerKey = 2
+
+// Spec declares an injection plan: a probability per site, a seed, and the
+// per-key fault cap. The zero value injects nothing.
+type Spec struct {
+	// Seed drives every injection decision. Two injectors with the same
+	// spec make identical decisions for identical (site, key, attempt)
+	// triples.
+	Seed int64
+	// Probability maps each site to its per-attempt fire probability in
+	// [0, 1]. Absent sites never fire.
+	Probability map[Site]float64
+	// MaxPerKey caps the faults injected per (site, key); <= 0 means
+	// DefaultMaxPerKey. A retry budget of at least this many re-attempts
+	// is guaranteed to converge.
+	MaxPerKey int
+}
+
+// Empty reports whether the spec injects nothing.
+func (s *Spec) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, p := range s.Probability {
+		if p > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec in the ParseSpec grammar, sites in canonical
+// order, so specs round-trip and logs show exactly what ran.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	var sites []string
+	for site := range s.Probability {
+		sites = append(sites, string(site))
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		parts = append(parts, fmt.Sprintf("%s=%s", site, strconv.FormatFloat(s.Probability[Site(site)], 'g', -1, 64)))
+	}
+	if s.MaxPerKey > 0 {
+		parts = append(parts, "max="+strconv.Itoa(s.MaxPerKey))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec decodes the chaos CLI grammar: comma-separated clauses
+//
+//	SITE=PROB   fire probability for one site (store.read, store.write,
+//	            worker.panic, worker.kill, sim.stall), PROB in [0, 1]
+//	max=K       at most K injected faults per (site, key)
+//	seed=N      decision seed
+//
+// An empty string parses to the empty spec (no injection).
+func ParseSpec(text string) (*Spec, error) {
+	s := &Spec{}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	valid := map[Site]bool{}
+	for _, site := range Sites() {
+		valid[site] = true
+	}
+	for _, clause := range strings.Split(text, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed=%q: want an integer", val)
+			}
+			s.Seed = n
+		case "max":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("chaos: max=%q: want a positive count", val)
+			}
+			s.MaxPerKey = k
+		default:
+			if !valid[Site(key)] {
+				return nil, fmt.Errorf("chaos: unknown site %q (have %s; plus max, seed)", key, siteList())
+			}
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 || math.IsNaN(p) {
+				return nil, fmt.Errorf("chaos: %s=%q: want a probability in [0, 1]", key, val)
+			}
+			if s.Probability == nil {
+				s.Probability = map[Site]float64{}
+			}
+			s.Probability[Site(key)] = p
+		}
+	}
+	return s, nil
+}
+
+func siteList() string {
+	var names []string
+	for _, s := range Sites() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}
+
+// Injector makes injection decisions for one chaos run. A nil *Injector is
+// the disabled state: every method returns the no-fault answer after a
+// single nil check, so production paths carry the hooks for free.
+type Injector struct {
+	seed      float64Seed
+	prob      map[Site]float64
+	maxPerKey int
+
+	mu       sync.Mutex
+	fired    map[string]int // (site, key) -> faults injected so far
+	attempts map[string]int // (site, key) -> decisions taken so far
+	total    uint64
+}
+
+// float64Seed is the spec seed pre-mixed for the decision hash.
+type float64Seed uint64
+
+// New builds an injector from a spec; a nil or empty spec yields a nil
+// injector (injection disabled).
+func New(spec *Spec) *Injector {
+	if spec.Empty() {
+		return nil
+	}
+	cap := spec.MaxPerKey
+	if cap <= 0 {
+		cap = DefaultMaxPerKey
+	}
+	prob := make(map[Site]float64, len(spec.Probability))
+	for site, p := range spec.Probability {
+		prob[site] = p
+	}
+	return &Injector{
+		seed:      float64Seed(uint64(spec.Seed) * 0x9E3779B97F4A7C15),
+		prob:      prob,
+		maxPerKey: cap,
+		fired:     map[string]int{},
+		attempts:  map[string]int{},
+	}
+}
+
+// Fire reports whether a fault fires at site for this key's next attempt.
+// The decision is deterministic in (seed, site, key, attempt index) and
+// capped at MaxPerKey fires per (site, key); concurrent callers with
+// distinct keys never perturb each other's sequences.
+func (in *Injector) Fire(site Site, key string) bool {
+	if in == nil {
+		return false
+	}
+	p, ok := in.prob[site]
+	if !ok || p <= 0 {
+		return false
+	}
+	sk := string(site) + "\x00" + key
+	in.mu.Lock()
+	attempt := in.attempts[sk]
+	in.attempts[sk] = attempt + 1
+	if in.fired[sk] >= in.maxPerKey {
+		in.mu.Unlock()
+		return false
+	}
+	fire := draw(uint64(in.seed), sk, attempt) < p
+	if fire {
+		in.fired[sk]++
+		in.total++
+	}
+	in.mu.Unlock()
+	return fire
+}
+
+// FlipBit deterministically flips one bit of data in place (no-op on empty
+// data), choosing the position from (seed, key) so a corrupted read is
+// reproducible. Callers pair it with a Fire(SiteStoreRead, key) decision.
+func (in *Injector) FlipBit(data []byte, key string) {
+	if in == nil || len(data) == 0 {
+		return
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	bit := (h.Sum64() ^ uint64(in.seed)) % uint64(len(data)*8)
+	data[bit/8] ^= 1 << (bit % 8)
+}
+
+// Injected returns the total faults injected so far, for end-of-run
+// reporting ("the chaos run actually injected something").
+func (in *Injector) Injected() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// draw maps (seed, site+key, attempt) to a uniform float in [0, 1).
+func draw(seed uint64, sk string, attempt int) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sk))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(attempt >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	x := h.Sum64() ^ seed
+	// splitmix64 finalizer: FNV alone is too regular in the low bits.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

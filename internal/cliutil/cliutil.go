@@ -12,7 +12,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/faults"
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/par"
@@ -277,11 +279,50 @@ func FaultSpecs(text string, seed int64) ([]*faults.Spec, error) {
 func FaultSpec(text string, seed int64) (*faults.Spec, error) {
 	s, err := faults.ParseSpec(text)
 	if err != nil {
-		return nil, fmt.Errorf("faults %q: %s (clauses: global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, fail|repair=link:A-B@DUR or router:ID@DUR, seed=N)",
+		return nil, fmt.Errorf("faults %q: %s (clauses: global=FRAC, local=FRAC, routers=K, router=ID, link=A-B, group=G, bundle=G1-G2, flap=link:A-B@MTBF:MTTR or router:ID@MTBF:MTTR, until=DUR, fail|repair=link:A-B|router:ID|group:G|bundle:G1-G2@DUR, seed=N)",
 			text, strings.TrimPrefix(err.Error(), "faults: "))
 	}
 	if seed != 0 {
 		s.Seed = seed
+	}
+	return s, nil
+}
+
+// Retries validates the -retries flag: bounded re-attempts per failing
+// sweep cell before the cell's error (or quarantine) stands.
+func Retries(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("retries %d: want 0 (fail on first error) or a positive re-attempt count", n)
+	}
+	return n, nil
+}
+
+// JobTimeout validates the -job-timeout flag: the per-cell wall-clock
+// budget, 0 disabling it.
+func JobTimeout(d time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("job timeout %v: want 0 (no wall-clock budget) or a positive duration", d)
+	}
+	return d, nil
+}
+
+// QuarantineLimit validates the -quarantine-limit flag: how many poisoned
+// cells a sweep tolerates (quarantining each and continuing) before it
+// fails outright; 0 disables quarantine so the first exhausted cell is
+// fatal.
+func QuarantineLimit(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("quarantine limit %d: want 0 (quarantine disabled) or a positive poisoned-cell budget", n)
+	}
+	return n, nil
+}
+
+// ChaosSpec parses the -chaos fault-injection grammar (see chaos.ParseSpec).
+func ChaosSpec(text string) (*chaos.Spec, error) {
+	s, err := chaos.ParseSpec(text)
+	if err != nil {
+		return nil, fmt.Errorf("chaos %q: %s (clauses: SITE=PROB for sites store.read, store.write, worker.panic, worker.kill, sim.stall; max=K, seed=N)",
+			text, strings.TrimPrefix(err.Error(), "chaos: "))
 	}
 	return s, nil
 }

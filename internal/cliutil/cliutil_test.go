@@ -3,6 +3,7 @@ package cliutil
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"dragonfly/internal/mapping"
 	"dragonfly/internal/placement"
@@ -96,6 +97,37 @@ func TestParsers(t *testing.T) {
 			return len(s) == 3 && s[0] == nil && s[1] != nil && s[2].Seed == 3, err
 		}, true, ""},
 		{"faultspecs/bad-element", func() (interface{}, error) { return FaultSpecs("global=0.1;cables=2", 0) }, nil, "clauses: global=FRAC"},
+
+		{"faults/flap", func() (interface{}, error) {
+			s, err := FaultSpec("flap=link:0-1@100us:50us,until=2ms", 0)
+			return len(s.Flaps) == 1 && s.FlapUntil == 2_000_000, err
+		}, true, ""},
+		{"faults/group-bundle", func() (interface{}, error) {
+			s, err := FaultSpec("group=1,bundle=0-2", 0)
+			return len(s.FailGroups) == 1 && len(s.FailBundles) == 1, err
+		}, true, ""},
+		{"faults/flap-missing-mttr", func() (interface{}, error) { return FaultSpec("flap=link:0-1@100us", 0) }, nil, "flap=link:A-B@MTBF:MTTR"},
+		{"faults/bad-bundle", func() (interface{}, error) { return FaultSpec("bundle=3", 0) }, nil, "bundle=G1-G2"},
+
+		{"retries/zero", func() (interface{}, error) { return Retries(0) }, 0, ""},
+		{"retries/positive", func() (interface{}, error) { return Retries(3) }, 3, ""},
+		{"retries/negative", func() (interface{}, error) { return Retries(-1) }, nil, "want 0 (fail on first error) or a positive"},
+
+		{"job-timeout/zero", func() (interface{}, error) { return JobTimeout(0) }, time.Duration(0), ""},
+		{"job-timeout/positive", func() (interface{}, error) { return JobTimeout(5 * time.Minute) }, 5 * time.Minute, ""},
+		{"job-timeout/negative", func() (interface{}, error) { return JobTimeout(-time.Second) }, nil, "want 0 (no wall-clock budget) or a positive"},
+
+		{"quarantine-limit/zero", func() (interface{}, error) { return QuarantineLimit(0) }, 0, ""},
+		{"quarantine-limit/positive", func() (interface{}, error) { return QuarantineLimit(2) }, 2, ""},
+		{"quarantine-limit/negative", func() (interface{}, error) { return QuarantineLimit(-3) }, nil, "want 0 (quarantine disabled) or a positive"},
+
+		{"chaos/empty", func() (interface{}, error) { s, err := ChaosSpec(""); return s.Empty(), err }, true, ""},
+		{"chaos/spec", func() (interface{}, error) {
+			s, err := ChaosSpec("worker.kill=0.5,store.read=0.1,max=1,seed=7")
+			return len(s.Probability) == 2 && s.MaxPerKey == 1 && s.Seed == 7, err
+		}, true, ""},
+		{"chaos/unknown-site", func() (interface{}, error) { return ChaosSpec("disk.melt=1") }, nil, "sites store.read, store.write, worker.panic, worker.kill, sim.stall"},
+		{"chaos/bad-probability", func() (interface{}, error) { return ChaosSpec("worker.kill=2") }, nil, "SITE=PROB"},
 	}
 	for _, tc := range tests {
 		tc := tc

@@ -222,6 +222,7 @@ func Run(cfg Config) (*Result, error) {
 			ev := ev
 			eng.At(ev.At, func() {
 				fset.Apply(ev)
+				fab.RecordHealthEvent(ev.At, ev.String())
 				fab.ApplyHealthChange()
 			})
 		}

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/des"
@@ -96,8 +97,8 @@ type Options struct {
 	// fault spec (extension beyond the paper; the dfsweep -faults flag).
 	// Nil or an empty spec leaves the fault machinery out entirely, so the
 	// paper-reproduction reports stay byte-identical. The resilience sweep
-	// (figr) and the learning-router comparison (figq) drive their own
-	// fault fractions and ignore this option.
+	// (figr), the learning-router comparison (figq), and the availability
+	// sweep (figf) drive their own fault specs and ignore this option.
 	Faults *faults.Spec
 	// DisablePooling turns off the allocation-avoidance machinery — the
 	// fabric's packet/credit free lists and the router path cache + hop
@@ -112,6 +113,14 @@ type Options struct {
 	// cell was simulated or recalled; a corrupt or missing entry silently
 	// degrades to a re-run. FarmStats reports the hit/miss split.
 	Farm *farm.Store
+	// Retries bounds the re-attempts a failing farm-backed cell gets before
+	// its error stands (farm.Options.Retries); 0 fails on the first error.
+	// Only the batch-style experiments driven through the farm executor use
+	// it — without a Farm the plain executor runs each cell once.
+	Retries int
+	// JobTimeout is the per-cell wall-clock budget of farm-backed cells
+	// (farm.Options.JobTimeout); 0 disables it.
+	JobTimeout time.Duration
 }
 
 // Runner executes experiments, caching simulation results so that figures
@@ -215,6 +224,8 @@ func (r *Runner) Run(id string) (*Report, error) {
 		return r.FigureQ()
 	case "figa":
 		return r.FigureA()
+	case "figf":
+		return r.FigureF()
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %s; extensions: %s)",
 			id, strings.Join(IDs(), ", "), strings.Join(ExtensionIDs(), ", "))
@@ -370,7 +381,7 @@ func (r *Runner) finish(rep *Report) (*Report, error) {
 		// reports (and their golden snapshots) byte-stable.
 		rep.Notes = append(rep.Notes, fmt.Sprintf("machine=%s (extension beyond the paper)", r.opts.Machine.Label()))
 	}
-	if !r.opts.Faults.Empty() && rep.ID != "figr" && rep.ID != "figq" {
+	if !r.opts.Faults.Empty() && rep.ID != "figr" && rep.ID != "figq" && rep.ID != "figf" {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("faults=%s (degraded fabric, extension beyond the paper)", r.opts.Faults))
 	}
 	if r.opts.DataDir != "" {
@@ -771,7 +782,11 @@ func (r *Runner) runBatch(cfgs []core.Config) ([]*core.Result, error) {
 	if r.opts.Farm == nil {
 		return core.RunBatch(cfgs, r.parallel())
 	}
-	results, stats, err := farm.New(r.opts.Farm, farm.Options{Parallel: r.parallel()}).Run(cfgs)
+	results, stats, err := farm.New(r.opts.Farm, farm.Options{
+		Parallel:   r.parallel(),
+		Retries:    r.opts.Retries,
+		JobTimeout: r.opts.JobTimeout,
+	}).Run(cfgs)
 	r.addFarmStats(stats)
 	return results, err
 }

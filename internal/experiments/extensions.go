@@ -18,7 +18,7 @@ import (
 // (xmulti).
 
 // ExtensionIDs lists the extension experiments.
-func ExtensionIDs() []string { return []string{"xmap", "xmulti", "figr", "figq", "figa"} }
+func ExtensionIDs() []string { return []string{"xmap", "xmulti", "figr", "figq", "figa", "figf"} }
 
 // XMap studies task mapping (the paper's stated future work): AMG — the
 // neighbor-heavy application — on a random-router allocation under every

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/des"
+	"dragonfly/internal/faults"
+	"dragonfly/internal/network"
+	"dragonfly/internal/placement"
+	"dragonfly/internal/routing"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/topology"
+)
+
+// figfScenario is one availability scenario of the figf sweep: a label and
+// the fault spec that realizes it on a particular machine (nil = healthy).
+type figfScenario struct {
+	name string
+	spec *faults.Spec
+}
+
+// FigureF is the availability sweep, an extension beyond the paper: the
+// localizing-vs-balancing question re-examined under realistic fault
+// dynamics — a flapping global cable (seeded MTBF/MTTR fail/repair cycles)
+// and correlated failure domains (a whole cable bundle, a whole group) that
+// fail mid-run and are repaired mid-run — on both interconnects. Fault
+// targets are derived from each machine's own wiring (the first global cable
+// and its endpoint groups), never hard-coded, so the same scenario
+// vocabulary is valid on any topology. Every run drains with exact loss
+// accounting; a cell whose traffic hit a partition window is marked
+// "unreach" rather than erroring.
+func (r *Runner) FigureF() (*Report, error) {
+	cells := []core.Cell{
+		{Placement: placement.Contiguous, Routing: routing.Minimal},
+		{Placement: placement.Contiguous, Routing: routing.Adaptive},
+		{Placement: placement.RandomNode, Routing: routing.Minimal},
+		{Placement: placement.RandomNode, Routing: routing.Adaptive},
+	}
+	machines := []topology.Machine{r.Machine(), r.figaPlusMachine()}
+	rep := &Report{
+		ID:    "figf",
+		Title: "Availability sweep: flapping cable and correlated failure domains (extension beyond the paper)",
+		Notes: []string{
+			"CR benchmark; per machine, fault targets derive from its first global cable and that cable's endpoint groups",
+			"flap = seeded MTBF/MTTR fail/repair cycles on one cable; bundle/group = correlated outage failed mid-run and repaired mid-run",
+			"unreach = traffic hit a partition window (lossy run; drops are accounted in dropped_pkts)",
+		},
+	}
+
+	tr, err := r.AppTrace("CR")
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []core.Config
+	scens := make([][]figfScenario, len(machines))
+	for mi, m := range machines {
+		ic, err := m.Build()
+		if err != nil {
+			return nil, err
+		}
+		scens[mi], err = r.figfScenarios(ic)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scens[mi] {
+			for _, cell := range cells {
+				cfgs = append(cfgs, core.Config{
+					Topology:       m,
+					Params:         network.DefaultParams(),
+					Placement:      cell.Placement,
+					Routing:        cell.Routing,
+					Trace:          tr,
+					Seed:           r.opts.Seed,
+					Audit:          r.opts.Audit,
+					Faults:         sc.spec,
+					WatchdogEvents: defaultWatchdogEvents,
+				})
+			}
+		}
+	}
+	results, err := r.runBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	i := 0
+	for mi, m := range machines {
+		t := Table{
+			Title:   fmt.Sprintf("CR availability on %s", m.Label()),
+			Columns: []string{"scenario", "config", "median_ms", "max_ms", "mean_hops", "dropped_pkts", "status"},
+		}
+		for _, sc := range scens[mi] {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s %s: %s", m.Label(), sc.name, describeFaults(sc.spec)))
+			for _, cell := range cells {
+				res := results[i]
+				i++
+				if !res.Completed {
+					return nil, fmt.Errorf("experiments: figf %s under %s on %s did not complete",
+						sc.name, cell.Name(), m.Label())
+				}
+				r.progressf("ran CR %-9s scenario=%-8s machine=%-24s simtime=%v dropped=%d",
+					cell.Name(), sc.name, m.Label(), res.Duration, res.DroppedPackets)
+				status := "ok"
+				if res.RouteErr != nil {
+					status = "unreach"
+				}
+				b := stats.BoxOf(res.CommTimesMs())
+				t.Rows = append(t.Rows, []string{
+					sc.name, cell.Name(), fmtF(b.Median), fmtF(b.Max), fmtF(meanOf(res.AvgHops)),
+					fmt.Sprintf("%d", res.DroppedPackets), status,
+				})
+			}
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return r.finish(rep)
+}
+
+// figfScenarios derives the machine-specific availability scenarios. Targets
+// come from the built machine — the first entry of its deterministic global
+// cable enumeration and that cable's endpoint groups — so the sweep needs no
+// per-topology router IDs and stays valid when machine presets change shape.
+func (r *Runner) figfScenarios(ic topology.Interconnect) ([]figfScenario, error) {
+	conns := ic.GlobalConns()
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("experiments: figf: machine %s has no global cables", ic.Name())
+	}
+	c := conns[0]
+	g1, g2 := ic.GroupOfRouter(c.A), ic.GroupOfRouter(c.B)
+	const (
+		failAt   = 20 * des.Microsecond
+		repairAt = 120 * des.Microsecond
+	)
+	return []figfScenario{
+		{"healthy", nil},
+		{"flap", &faults.Spec{
+			Flaps:     []faults.Flap{{A: c.A, B: c.B, MTBF: 100 * des.Microsecond, MTTR: 50 * des.Microsecond}},
+			FlapUntil: 500 * des.Microsecond,
+			Seed:      r.opts.Seed,
+		}},
+		{"bundle", &faults.Spec{Events: []faults.Event{
+			{At: failAt, IsBundle: true, G1: g1, G2: g2},
+			{At: repairAt, IsBundle: true, G1: g1, G2: g2, Repair: true},
+		}}},
+		{"group", &faults.Spec{Events: []faults.Event{
+			{At: failAt, IsGroup: true, Group: g2},
+			{At: repairAt, IsGroup: true, Group: g2, Repair: true},
+		}}},
+	}, nil
+}
+
+// describeFaults renders a scenario spec for the report notes.
+func describeFaults(s *faults.Spec) string {
+	if s == nil {
+		return "no faults"
+	}
+	return s.String()
+}

@@ -32,8 +32,10 @@ import (
 // figq the learning-router comparison (also on mini — it anchors the
 // qadaptive policy's Q-table trajectory end to end, saturation feedback
 // included), and figa the collective-workload sweep (it anchors the
-// dependency-graph generators and the graph executor on both interconnects).
-var goldenIDs = []string{"fig2", "fig3", "fig8", "figr", "figq", "figa"}
+// dependency-graph generators and the graph executor on both interconnects),
+// and figf the availability sweep (it anchors the flap expansion and the
+// correlated group/bundle fault domains end to end, mid-run repair included).
+var goldenIDs = []string{"fig2", "fig3", "fig8", "figr", "figq", "figa", "figf"}
 
 func updateGolden() bool { return os.Getenv("UPDATE_GOLDEN") == "1" }
 

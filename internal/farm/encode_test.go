@@ -157,6 +157,17 @@ func TestEveryFieldPerturbsAddress(t *testing.T) {
 		{"Faults", "faults event", func(c *core.Config) {
 			c.Faults = &faults.Spec{Events: []faults.Event{{At: des.Microsecond, A: 1, B: 2}}}
 		}},
+		{"Faults", "faults group", func(c *core.Config) { c.Faults = &faults.Spec{FailGroups: []int{1}} }},
+		{"Faults", "faults bundle", func(c *core.Config) { c.Faults = &faults.Spec{FailBundles: [][2]int{{0, 1}}} }},
+		{"Faults", "faults flap", func(c *core.Config) {
+			c.Faults = &faults.Spec{Flaps: []faults.Flap{{A: 1, B: 2, MTBF: 100_000, MTTR: 50_000}}}
+		}},
+		{"Faults", "faults flap horizon", func(c *core.Config) {
+			c.Faults = &faults.Spec{
+				Flaps:     []faults.Flap{{A: 1, B: 2, MTBF: 100_000, MTTR: 50_000}},
+				FlapUntil: 2_000_000,
+			}
+		}},
 
 		{"Params", "packet bytes", func(c *core.Config) { c.Params.PacketBytes /= 2 }},
 		{"Params", "terminal bandwidth", func(c *core.Config) { c.Params.TerminalBandwidth *= 2 }},

@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/core"
 )
 
@@ -31,7 +34,40 @@ type Options struct {
 	// Progress, when non-nil, receives one callback per finished cell
 	// (hit, simulated, or failed), serialized across workers.
 	Progress func(ev Progress)
+
+	// JobTimeout bounds each simulation attempt's wall-clock time; <= 0
+	// means unlimited. A timed-out attempt's goroutine is abandoned (Go
+	// cannot kill it), so the budget should be generous — it exists to keep
+	// one wedged cell from stalling a thousand-cell sweep, not to race the
+	// simulator. Timed-out attempts are retried like any other failure.
+	JobTimeout time.Duration
+	// Retries is the number of re-attempts after a failed simulation
+	// (panic, injected fault, timeout): a cell runs at most 1+Retries
+	// times. Retries back off exponentially from RetryBackoff with
+	// deterministic per-(cell, attempt) jitter.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; <= 0 selects
+	// defaultRetryBackoff. Successive retries double it, capped at
+	// maxRetryBackoff.
+	RetryBackoff time.Duration
+	// QuarantineLimit enables poisoned-job quarantine when > 0: a cell
+	// that fails all its attempts is quarantined — recorded with
+	// diagnostics under <store>/quarantine/jobs/, reported in Stats, and
+	// its result left nil — instead of failing the sweep, until this many
+	// cells have been quarantined. Beyond the limit (or at 0) a poisoned
+	// cell fails the run, so degradation is always bounded and explicit.
+	QuarantineLimit int
+	// Chaos, when non-nil, injects worker-level faults (kills, panics,
+	// simulated stalls) and is installed on the store for I/O faults. Used
+	// by the chaos suite to prove the machinery above; nil in production.
+	Chaos *chaos.Injector
 }
+
+// defaultRetryBackoff and maxRetryBackoff bound the retry delay schedule.
+const (
+	defaultRetryBackoff = 5 * time.Millisecond
+	maxRetryBackoff     = 2 * time.Second
+)
 
 // Progress describes one finished cell.
 type Progress struct {
@@ -55,6 +91,8 @@ type Stats struct {
 	Uncacheable int // simulated without touching the store (no canonical encoding)
 	Errors      int // cells whose simulation failed
 	WriteErrors int // results that simulated fine but failed to persist
+	Retried     int // re-attempts after failed simulations
+	Quarantined int // cells abandoned after exhausting retries (nil results, recorded on disk)
 }
 
 // Add accumulates another run's counters, e.g. across the batches of one
@@ -68,6 +106,8 @@ func (s *Stats) Add(o Stats) {
 	s.Uncacheable += o.Uncacheable
 	s.Errors += o.Errors
 	s.WriteErrors += o.WriteErrors
+	s.Retried += o.Retried
+	s.Quarantined += o.Quarantined
 }
 
 // Farm executes config sets against a Store.
@@ -75,29 +115,35 @@ type Farm struct {
 	store *Store
 	opts  Options
 
-	mu         sync.Mutex
-	inflight   map[string]*flight
-	done       int
-	progressMu sync.Mutex
+	mu          sync.Mutex
+	inflight    map[string]*flight
+	done        int
+	quarantined int // cells quarantined this Run, against QuarantineLimit
+	progressMu  sync.Mutex
 }
 
 // flight is the single-flight slot of one address: concurrent requests for
 // identical configs — duplicate cells of one job — simulate once and share
-// the stored record.
+// the stored record (or the quarantine decision).
 type flight struct {
-	wait chan struct{}
-	rec  *Record
-	err  error
+	wait        chan struct{}
+	rec         *Record
+	err         error
+	quarantined bool
 }
 
 // New builds a Farm over store. The store must be non-nil: a farm without a
-// cache is core.RunBatch.
+// cache is core.RunBatch. A chaos injector in opts is installed on the store
+// too, so one option arms every injection site.
 func New(store *Store, opts Options) *Farm {
 	if store == nil {
 		panic("farm: New needs a store")
 	}
 	if opts.NumShards > 1 && (opts.Shard < 0 || opts.Shard >= opts.NumShards) {
 		panic(fmt.Sprintf("farm: shard %d out of range of %d shards", opts.Shard, opts.NumShards))
+	}
+	if opts.Chaos != nil {
+		store.SetChaos(opts.Chaos)
 	}
 	return &Farm{store: store, opts: opts, inflight: make(map[string]*flight)}
 }
@@ -130,6 +176,7 @@ func (f *Farm) Run(cfgs []core.Config) ([]*core.Result, Stats, error) {
 	stats.InShard = len(mine)
 	f.mu.Lock()
 	f.done = 0
+	f.quarantined = 0
 	f.mu.Unlock()
 
 	workers := f.opts.Parallel
@@ -151,6 +198,8 @@ func (f *Farm) Run(cfgs []core.Config) ([]*core.Result, Stats, error) {
 		stats.Uncacheable += cell.Uncacheable
 		stats.WriteErrors += cell.WriteErrors
 		stats.Errors += cell.Errors
+		stats.Retried += cell.Retried
+		stats.Quarantined += cell.Quarantined
 		statsMu.Unlock()
 		f.progress(i, len(mine), addr, cell.Hits > 0, time.Since(start), err)
 	}
@@ -186,17 +235,24 @@ func (f *Farm) Run(cfgs []core.Config) ([]*core.Result, Stats, error) {
 }
 
 // runCell resolves one configuration: replay from the store, or simulate
-// (once per address, under single-flight) and persist. The returned address
+// (once per address, under single-flight, with retries) and persist. A cell
+// that exhausts its retry budget is quarantined when the run has quarantine
+// headroom — nil result, no error — otherwise it fails. The returned address
 // is empty for uncacheable cells.
 func (f *Farm) runCell(cfg core.Config) (*core.Result, string, Stats, error) {
 	var cell Stats
 	enc, err := Encode(cfg)
 	if err != nil {
 		// No canonical identity: simulate without caching rather than
-		// refuse the cell.
+		// refuse the cell. Retries and quarantine still apply, keyed by
+		// the cell's name.
 		cell.Uncacheable++
-		res, err := runSafe(cfg)
+		res, attempts, errLines, err := f.runWithRetries(cfg, cfg.Name(), &cell)
 		if err != nil {
+			if f.tryQuarantine(cfg, "", attempts, errLines) {
+				cell.Quarantined++
+				return nil, "", cell, nil
+			}
 			cell.Errors++
 		}
 		return res, "", cell, err
@@ -207,6 +263,10 @@ func (f *Farm) runCell(cfg core.Config) (*core.Result, string, Stats, error) {
 	if fl, ok := f.inflight[addr]; ok {
 		f.mu.Unlock()
 		<-fl.wait
+		if fl.quarantined {
+			cell.Quarantined++
+			return nil, addr, cell, nil
+		}
 		if fl.err != nil {
 			cell.Errors++
 			return nil, addr, cell, fl.err
@@ -234,8 +294,13 @@ func (f *Farm) runCell(cfg core.Config) (*core.Result, string, Stats, error) {
 	}
 
 	cell.Misses++
-	res, err := runSafe(cfg)
+	res, attempts, errLines, err := f.runWithRetries(cfg, addr, &cell)
 	if err != nil {
+		if f.tryQuarantine(cfg, addr, attempts, errLines) {
+			cell.Quarantined++
+			fl.quarantined = true
+			return nil, addr, cell, nil
+		}
 		cell.Errors++
 		fl.err = err
 		return nil, addr, cell, err
@@ -248,16 +313,151 @@ func (f *Farm) runCell(cfg core.Config) (*core.Result, string, Stats, error) {
 	return res, addr, cell, nil
 }
 
+// runWithRetries executes a cell up to 1+Retries times with seeded
+// exponential backoff, collecting one diagnostic line per failed attempt
+// (the quarantine record's evidence). It returns the attempts taken and, on
+// total failure, the last attempt's error.
+func (f *Farm) runWithRetries(cfg core.Config, key string, cell *Stats) (*core.Result, int, []string, error) {
+	budget := 1 + f.opts.Retries
+	if budget < 1 {
+		budget = 1
+	}
+	var errLines []string
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
+			cell.Retried++
+			time.Sleep(retryDelay(f.opts.RetryBackoff, key, attempt))
+		}
+		res, err := f.attempt(cfg, key)
+		if err == nil {
+			return res, attempt + 1, errLines, nil
+		}
+		lastErr = err
+		errLines = append(errLines, firstLine(err.Error()))
+	}
+	return nil, budget, errLines, lastErr
+}
+
+// attempt executes one simulation attempt: worker-level chaos, then the
+// wall-clock-budgeted run, then the simulated-stall site. Chaos decisions
+// key on the cell's identity (its address or name), never its execution
+// slot, so chaos runs reproduce across worker counts.
+func (f *Farm) attempt(cfg core.Config, key string) (*core.Result, error) {
+	if f.opts.Chaos.Fire(chaos.SiteWorkerKill, key) {
+		return nil, fmt.Errorf("farm: %s: chaos: injected worker kill", cfg.Name())
+	}
+	res, err := f.runBudgeted(cfg, key)
+	if err != nil {
+		return nil, err
+	}
+	if f.opts.Chaos.Fire(chaos.SiteSimStall, key) {
+		return nil, fmt.Errorf("farm: %s: chaos: injected simulation stall", cfg.Name())
+	}
+	return res, nil
+}
+
+// runBudgeted applies the per-attempt wall-clock budget. A timed-out
+// attempt's goroutine keeps running unobserved until the simulation returns
+// — Go offers no way to kill it — which is why the timeout abandons rather
+// than cancels; its eventual result is discarded.
+func (f *Farm) runBudgeted(cfg core.Config, key string) (*core.Result, error) {
+	if f.opts.JobTimeout <= 0 {
+		return runSafe(cfg, f.opts.Chaos, key)
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runSafe(cfg, f.opts.Chaos, key)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(f.opts.JobTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("farm: %s: attempt exceeded wall-clock budget %s; abandoned", cfg.Name(), f.opts.JobTimeout)
+	}
+}
+
+// tryQuarantine records a poisoned cell and consumes one unit of the run's
+// quarantine budget. It returns false — the cell must fail the run — when
+// quarantine is disabled or the budget is spent.
+func (f *Farm) tryQuarantine(cfg core.Config, addr string, attempts int, errLines []string) bool {
+	if f.opts.QuarantineLimit <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	if f.quarantined >= f.opts.QuarantineLimit {
+		f.mu.Unlock()
+		return false
+	}
+	f.quarantined++
+	f.mu.Unlock()
+	// A failed record write must not turn graceful degradation back into a
+	// hard failure; the cell is still reported via Stats.Quarantined.
+	_ = f.store.QuarantineJob(&QuarantineRecord{
+		Addr: addr, Name: cfg.Name(), Attempts: attempts, Errors: errLines,
+	})
+	return true
+}
+
+// runSim is the simulator entry point, a variable only so tests can stand
+// in a wedged simulation and prove the wall-clock budget trips.
+var runSim = core.Run
+
 // runSafe is core.Run behind a panic firewall, mirroring core.RunBatch: one
 // wedged cell becomes that cell's error instead of killing sibling workers.
-func runSafe(cfg core.Config) (res *core.Result, err error) {
+// The chaos panic site fires inside the protected region, proving the
+// firewall contains real mid-cell panics.
+func runSafe(cfg core.Config, in *chaos.Injector, key string) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = fmt.Errorf("farm: %s: panic: %v\n%s", cfg.Name(), r, debug.Stack())
 		}
 	}()
-	return core.Run(cfg)
+	if in.Fire(chaos.SiteWorkerPanic, key) {
+		panic("chaos: injected worker panic")
+	}
+	return runSim(cfg)
+}
+
+// retryDelay is the backoff before retry attempt (attempt >= 1): base
+// doubled per attempt, scaled by a deterministic jitter in [0.5, 1.5) drawn
+// from the cell key — retries of one hot store directory spread out, and a
+// rerun schedules identically.
+func retryDelay(base time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	d := base << (attempt - 1)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{byte(attempt)})
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(1<<53)
+	d = time.Duration(float64(d) * jitter)
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// firstLine trims a diagnostic to its first line: quarantine records keep
+// the failure's headline, not a stack dump whose addresses differ run to
+// run.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func (f *Farm) progress(index, total int, addr string, hit bool, elapsed time.Duration, err error) {

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"dragonfly/internal/chaos"
 )
 
 // Store is the on-disk content-addressed result cache. Entries live under
@@ -31,6 +33,10 @@ import (
 // so whichever rename lands last installs identical bytes.
 type Store struct {
 	root string
+
+	// chaos, when non-nil, injects read corruption and write failures at
+	// the store's I/O boundary (see SetChaos); nil costs one comparison.
+	chaos *chaos.Injector
 }
 
 // ErrMiss reports an address with no stored entry.
@@ -65,6 +71,12 @@ func Open(dir string) (*Store, error) {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// SetChaos installs a fault injector on the store's I/O boundary: reads may
+// come back with one flipped bit (which integrity verification must catch),
+// writes may fail outright. A nil injector disables injection. Chaos exists
+// to prove the self-healing path; production stores never set it.
+func (s *Store) SetChaos(in *chaos.Injector) { s.chaos = in }
+
 // entryPath maps an address to its object file.
 func (s *Store) entryPath(addr string) string {
 	return filepath.Join(s.root, "objects", addr[:2], addr)
@@ -83,6 +95,9 @@ func (s *Store) Get(addr string) (*Record, error) {
 			return nil, ErrMiss
 		}
 		return nil, fmt.Errorf("farm: read %s: %w", addr[:12], err)
+	}
+	if s.chaos.Fire(chaos.SiteStoreRead, addr) {
+		s.chaos.FlipBit(data, addr) // simulated disk rot; verification must catch it
 	}
 	payload, err := verifyEntry(addr, data)
 	if err != nil {
@@ -156,6 +171,9 @@ func (s *Store) Put(addr string, rec *Record) error {
 	if len(addr) < 3 {
 		return fmt.Errorf("farm: malformed address %q", addr)
 	}
+	if s.chaos.Fire(chaos.SiteStoreWrite, addr) {
+		return fmt.Errorf("farm: put %s: chaos: injected write failure", addr[:12])
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("farm: encode %s: %w", addr[:12], err)
@@ -192,8 +210,17 @@ func (s *Store) Put(addr string, rec *Record) error {
 	return nil
 }
 
-// Has reports whether a verifiable entry exists at addr.
+// Has reports whether a verifiable entry exists at addr. Unlike Get it
+// bypasses chaos injection: injection models rot on the consumption path,
+// while Has is bookkeeping (resume counts, job manifests), which must stay
+// accurate even while a chaos run is hammering the same store.
 func (s *Store) Has(addr string) bool {
-	_, err := s.Get(addr)
-	return err == nil
+	if len(addr) < 3 {
+		return false
+	}
+	data, err := os.ReadFile(s.entryPath(addr))
+	if err != nil {
+		return false
+	}
+	return verifyObject(addr, data)
 }

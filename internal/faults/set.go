@@ -26,9 +26,12 @@ type Set struct {
 
 	// globalPeer resolves (router, port) -> far end, for the router-alive
 	// half of GlobalLinkUp; pairConns resolves a router pair -> its
-	// parallel global cables, for the link=A-B form.
-	globalPeer map[uint64]topology.RouterID
-	pairConns  map[uint64][]topology.GlobalConn
+	// parallel global cables, for the link=A-B form; bundleConns resolves
+	// a group pair -> every cable between the two groups, for the
+	// bundle=G1-G2 correlated-domain form.
+	globalPeer  map[uint64]topology.RouterID
+	pairConns   map[uint64][]topology.GlobalConn
+	bundleConns map[uint64][]topology.GlobalConn
 
 	events []Event // sorted by At
 
@@ -46,18 +49,26 @@ func portKey(r topology.RouterID, port int) uint64 {
 	return uint64(uint32(r))<<16 | uint64(uint16(port))
 }
 
+func groupKey(g1, g2 int) uint64 {
+	if g1 > g2 {
+		g1, g2 = g2, g1
+	}
+	return uint64(uint32(g1))<<32 | uint64(uint32(g2))
+}
+
 // Resolve expands a spec against a machine into the concrete fault set,
 // drawing the random selections from named streams of spec.Seed. It
 // validates explicit IDs against the machine and rejects pairs that are not
 // wired.
 func Resolve(spec *Spec, topo topology.Interconnect) (*Set, error) {
 	s := &Set{
-		topo:       topo,
-		routerDown: make([]bool, topo.NumRouters()),
-		localDown:  map[uint64]bool{},
-		globalDown: map[uint64]bool{},
-		globalPeer: map[uint64]topology.RouterID{},
-		pairConns:  map[uint64][]topology.GlobalConn{},
+		topo:        topo,
+		routerDown:  make([]bool, topo.NumRouters()),
+		localDown:   map[uint64]bool{},
+		globalDown:  map[uint64]bool{},
+		globalPeer:  map[uint64]topology.RouterID{},
+		pairConns:   map[uint64][]topology.GlobalConn{},
+		bundleConns: map[uint64][]topology.GlobalConn{},
 	}
 	conns := topo.GlobalConns()
 	s.nGlobalConns = len(conns)
@@ -66,6 +77,8 @@ func Resolve(spec *Spec, topo topology.Interconnect) (*Set, error) {
 		s.globalPeer[portKey(c.B, c.BPort)] = c.A
 		k := pairKey(c.A, c.B)
 		s.pairConns[k] = append(s.pairConns[k], c)
+		gk := groupKey(topo.GroupOfRouter(c.A), topo.GroupOfRouter(c.B))
+		s.bundleConns[gk] = append(s.bundleConns[gk], c)
 	}
 	localPairs := s.localPairs()
 	s.nLocalPairs = len(localPairs)
@@ -115,18 +128,103 @@ func Resolve(spec *Spec, topo topology.Interconnect) (*Set, error) {
 		}
 		s.FailLink(l[0], l[1])
 	}
+	for _, g := range spec.FailGroups {
+		if err := s.checkGroup(g); err != nil {
+			return nil, err
+		}
+		s.FailGroup(g)
+	}
+	for _, b := range spec.FailBundles {
+		if err := s.checkBundle(b[0], b[1]); err != nil {
+			return nil, err
+		}
+		s.FailBundle(b[0], b[1])
+	}
 	for _, ev := range spec.Events {
-		if ev.IsRouter {
+		switch {
+		case ev.IsRouter:
 			if int(ev.Router) < 0 || int(ev.Router) >= topo.NumRouters() {
 				return nil, fmt.Errorf("faults: event %v: router outside [0, %d)", ev, topo.NumRouters())
 			}
-		} else if err := s.checkPair(ev.A, ev.B); err != nil {
-			return nil, fmt.Errorf("faults: event %v: %v", ev, err)
+		case ev.IsGroup:
+			if err := s.checkGroup(ev.Group); err != nil {
+				return nil, fmt.Errorf("faults: event %v: %v", ev, err)
+			}
+		case ev.IsBundle:
+			if err := s.checkBundle(ev.G1, ev.G2); err != nil {
+				return nil, fmt.Errorf("faults: event %v: %v", ev, err)
+			}
+		default:
+			if err := s.checkPair(ev.A, ev.B); err != nil {
+				return nil, fmt.Errorf("faults: event %v: %v", ev, err)
+			}
 		}
 	}
 	s.events = append(s.events, spec.Events...)
+	if err := s.expandFlaps(spec); err != nil {
+		return nil, err
+	}
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
 	return s, nil
+}
+
+// expandFlaps turns each flap into its concrete fail/repair timeline. Each
+// flap draws from its own named stream ("flap-<index>"), so adding a flap
+// never perturbs its siblings' timelines, and the whole expansion is a pure
+// function of (spec, machine) — flapped runs replay byte-identically.
+func (s *Set) expandFlaps(spec *Spec) error {
+	if len(spec.Flaps) == 0 {
+		return nil
+	}
+	horizon := spec.FlapUntil
+	if horizon <= 0 {
+		horizon = DefaultFlapHorizon
+	}
+	for i, fl := range spec.Flaps {
+		if fl.MTBF <= 0 || fl.MTTR <= 0 {
+			return fmt.Errorf("faults: %v: MTBF and MTTR must be positive", fl)
+		}
+		if fl.IsRouter {
+			if int(fl.Router) < 0 || int(fl.Router) >= s.topo.NumRouters() {
+				return fmt.Errorf("faults: %v: router outside [0, %d)", fl, s.topo.NumRouters())
+			}
+		} else if err := s.checkPair(fl.A, fl.B); err != nil {
+			return fmt.Errorf("faults: %v: %v", fl, err)
+		}
+		stream := des.NewRNG(spec.Seed, fmt.Sprintf("flap-%d", i))
+		t := des.Time(0)
+		for n := 0; n < maxFlapEvents; n++ {
+			up := expDraw(stream, fl.MTBF)
+			t += up
+			if t >= horizon {
+				break
+			}
+			s.events = append(s.events, flapEvent(fl, t, false))
+			down := expDraw(stream, fl.MTTR)
+			t += down
+			// The repair is emitted even past the horizon: flapped
+			// equipment always ends a run healthy.
+			s.events = append(s.events, flapEvent(fl, t, true))
+		}
+	}
+	return nil
+}
+
+// expDraw samples an exponential holding time with the given mean, clamped
+// to at least one time unit so a timeline always advances.
+func expDraw(rng *des.RNG, mean des.Time) des.Time {
+	d := des.Time(rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func flapEvent(fl Flap, at des.Time, repair bool) Event {
+	return Event{
+		At: at, Repair: repair,
+		IsRouter: fl.IsRouter, Router: fl.Router, A: fl.A, B: fl.B,
+	}
 }
 
 // localPairs enumerates every local link once, as pairKeys in deterministic
@@ -151,6 +249,29 @@ func (s *Set) checkPair(a, b topology.RouterID) error {
 	}
 	if !s.topo.LocalConnected(a, b) && len(s.pairConns[pairKey(a, b)]) == 0 {
 		return fmt.Errorf("faults: link %d-%d: routers are not wired to each other", a, b)
+	}
+	return nil
+}
+
+func (s *Set) checkGroup(g int) error {
+	if g < 0 || g >= s.topo.NumGroups() {
+		return fmt.Errorf("faults: group %d outside [0, %d)", g, s.topo.NumGroups())
+	}
+	return nil
+}
+
+func (s *Set) checkBundle(g1, g2 int) error {
+	if err := s.checkGroup(g1); err != nil {
+		return err
+	}
+	if err := s.checkGroup(g2); err != nil {
+		return err
+	}
+	if g1 == g2 {
+		return fmt.Errorf("faults: bundle %d-%d: groups are equal", g1, g2)
+	}
+	if len(s.bundleConns[groupKey(g1, g2)]) == 0 {
+		return fmt.Errorf("faults: bundle %d-%d: groups have no direct cables", g1, g2)
 	}
 	return nil
 }
@@ -227,6 +348,42 @@ func (s *Set) RepairLink(a, b topology.RouterID) {
 	}
 }
 
+// FailGroup downs every router of group g: a correlated whole-group outage.
+func (s *Set) FailGroup(g int) {
+	for r := 0; r < s.topo.NumRouters(); r++ {
+		if s.topo.GroupOfRouter(topology.RouterID(r)) == g {
+			s.FailRouter(topology.RouterID(r))
+		}
+	}
+}
+
+// RepairGroup brings every router of group g back up. Routers or links of
+// the group failed independently stay down only if their own fault is a
+// link fault; router state is binary, so an overlapping router=ID fault is
+// repaired with its group.
+func (s *Set) RepairGroup(g int) {
+	for r := 0; r < s.topo.NumRouters(); r++ {
+		if s.topo.GroupOfRouter(topology.RouterID(r)) == g {
+			s.RepairRouter(topology.RouterID(r))
+		}
+	}
+}
+
+// FailBundle downs every global cable between groups g1 and g2: a cut
+// cable bundle.
+func (s *Set) FailBundle(g1, g2 int) {
+	for _, c := range s.bundleConns[groupKey(g1, g2)] {
+		s.failConn(c)
+	}
+}
+
+// RepairBundle brings every cable between groups g1 and g2 back up.
+func (s *Set) RepairBundle(g1, g2 int) {
+	for _, c := range s.bundleConns[groupKey(g1, g2)] {
+		s.repairConn(c)
+	}
+}
+
 // Apply executes one dynamic event against the set.
 func (s *Set) Apply(ev Event) {
 	switch {
@@ -234,6 +391,14 @@ func (s *Set) Apply(ev Event) {
 		s.RepairRouter(ev.Router)
 	case ev.IsRouter:
 		s.FailRouter(ev.Router)
+	case ev.IsGroup && ev.Repair:
+		s.RepairGroup(ev.Group)
+	case ev.IsGroup:
+		s.FailGroup(ev.Group)
+	case ev.IsBundle && ev.Repair:
+		s.RepairBundle(ev.G1, ev.G2)
+	case ev.IsBundle:
+		s.FailBundle(ev.G1, ev.G2)
 	case ev.Repair:
 		s.RepairLink(ev.A, ev.B)
 	default:

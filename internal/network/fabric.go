@@ -157,6 +157,13 @@ type Fabric struct {
 	droppedBytes   int64
 	routeErr       error
 
+	// healthLog is a ring of the most recent dynamic health transitions
+	// (fault/repair events), so a tripped watchdog can report what the
+	// fabric's health looked like when traffic stopped moving — a stall
+	// under flapping is diagnosable from the error alone.
+	healthLog [healthLogSize]healthLogEntry
+	healthN   int // total events recorded; the ring holds the last healthLogSize
+
 	// Free lists, recycled at delivery (packets) and on credit arrival
 	// (tokens). Each fabric is driven by one sequential engine owned by one
 	// sweep worker, so the lists need no locking; Params.NoPacketPool turns
@@ -476,6 +483,22 @@ func (f *Fabric) RefreshHealth() {
 func (f *Fabric) ApplyHealthChange() {
 	f.chooser.RebuildHealth()
 	f.RefreshHealth()
+}
+
+// healthLogSize bounds the watchdog's health-transition history. Eight
+// entries cover several flap cycles without bloating the error text.
+const healthLogSize = 8
+
+type healthLogEntry struct {
+	at   des.Time
+	desc string
+}
+
+// RecordHealthEvent notes one dynamic health transition (the fault layer's
+// rendering of a fail/repair event) for the watchdog diagnostic.
+func (f *Fabric) RecordHealthEvent(at des.Time, desc string) {
+	f.healthLog[f.healthN%healthLogSize] = healthLogEntry{at: at, desc: desc}
+	f.healthN++
 }
 
 // failLink marks a channel dead and discards its queued transmission
@@ -826,6 +849,17 @@ func (f *Fabric) WatchdogDiagnostic() string {
 		}
 		fmt.Fprintf(&sb, "\nnetwork: router %d holds %d buffered bytes", best, bestOcc)
 		occ[best] = 0
+	}
+	if f.healthN > 0 {
+		fmt.Fprintf(&sb, "\nnetwork: %d health transitions applied; most recent:", f.healthN)
+		start := 0
+		if f.healthN > healthLogSize {
+			start = f.healthN - healthLogSize
+		}
+		for i := start; i < f.healthN; i++ {
+			e := f.healthLog[i%healthLogSize]
+			fmt.Fprintf(&sb, "\nnetwork:   t=%v %s", e.at, e.desc)
+		}
 	}
 	return sb.String()
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -289,5 +290,36 @@ func TestEmptyFaultSetIsInert(t *testing.T) {
 	emptyEnd, emptyBytes := run(set)
 	if healthyEnd <= 0 || emptyEnd <= 0 || healthyBytes == 0 || emptyBytes == 0 {
 		t.Fatal("degenerate run")
+	}
+}
+
+// TestWatchdogDiagnosticCarriesHealthHistory: the diagnostic reports the
+// most recent health transitions — bounded to the newest healthLogSize —
+// so a stall under flapping names the fail/repair sequence that led to it.
+func TestWatchdogDiagnosticCarriesHealthHistory(t *testing.T) {
+	topo := topotest.Mini(t)
+	set, err := faults.Resolve(&faults.Spec{}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := faultedFabric(t, routing.Minimal, 3, set)
+	if diag := f.WatchdogDiagnostic(); strings.Contains(diag, "health transitions") {
+		t.Fatalf("healthy fabric reports health history: %q", diag)
+	}
+	const total = healthLogSize + 4
+	for i := 0; i < total; i++ {
+		ev := faults.Event{At: des.Time(i * 1000), A: 0, B: 1, Repair: i%2 == 1}
+		f.RecordHealthEvent(ev.At, ev.String())
+	}
+	diag := f.WatchdogDiagnostic()
+	if !strings.Contains(diag, fmt.Sprintf("%d health transitions", total)) {
+		t.Fatalf("diagnostic lost the transition count: %q", diag)
+	}
+	if strings.Contains(diag, "fail=link:0-1@0s") {
+		t.Fatalf("diagnostic kept an entry older than the ring: %q", diag)
+	}
+	last := faults.Event{At: des.Time((total - 1) * 1000), A: 0, B: 1, Repair: (total-1)%2 == 1}
+	if !strings.Contains(diag, last.String()) {
+		t.Fatalf("diagnostic missing the newest transition %q: %q", last.String(), diag)
 	}
 }
